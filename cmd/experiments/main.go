@@ -1,0 +1,191 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section III) on the simulated testbed.
+//
+// Usage:
+//
+//	experiments [-run all|tableII|fig3|fig4|fig5|fig6|tableIII|fig7|util|pmin|ablations]
+//	            [-scale N] [-seed N] [-pmin P]
+//
+// -scale divides workload sizes and task counts; 1 reproduces Table II's
+// exact task counts (slow), 3 is the canonical setting used for
+// EXPERIMENTS.md, 12 is a quick smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mapsched/internal/experiments"
+	"mapsched/internal/metrics"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment to run")
+		scale = flag.Int("scale", 3, "workload scale divisor (1 = exact Table II counts)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		pmin  = flag.Float64("pmin", 0.4, "probability threshold P_min")
+	)
+	flag.Parse()
+
+	s := experiments.DefaultSetup()
+	s.Workload.Scale = *scale
+	s.Engine.Seed = *seed
+	s.Pmin = *pmin
+
+	if err := runExperiments(s, *run); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(s experiments.Setup, which string) error {
+	// Static reports need no simulation.
+	switch which {
+	case "tableII":
+		fmt.Println(experiments.TableIIReport())
+		return nil
+	case "fig3":
+		fmt.Println(experiments.Fig3().Report())
+		return nil
+	case "pmin":
+		return runPmin(s)
+	case "ablations":
+		return runAblations(s)
+	case "models":
+		pts, err := experiments.ModelComparison(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(renderPoints("models", "Probability-model comparison (Section V future work)", pts))
+		return nil
+	case "extended":
+		pts, err := experiments.ExtendedComparison(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(renderPoints("extended", "Extended scheduler comparison (incl. LARTS, Capacity)", pts))
+		return nil
+	case "faults":
+		pts, err := experiments.FaultTolerance(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FaultReport(pts))
+		return nil
+	case "jobpolicy":
+		pts, err := experiments.JobPolicyComparison(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(renderPoints("jobpolicy", "Job-level policy: fair vs FIFO (Section II-A)", pts))
+		return nil
+	case "seeds":
+		rep, err := experiments.SeedStudy(s, []int64{1, 2, 3, 4})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		return nil
+	case "analysis":
+		rep, err := experiments.AnalysisReport(s.Engine.Topology.Racks * s.Engine.Topology.NodesPerRack)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		return nil
+	}
+
+	needCmp := map[string]bool{
+		"all": true, "fig4": true, "fig5": true, "fig6": true,
+		"tableIII": true, "fig7": true, "util": true,
+	}
+	if !needCmp[which] {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running 3 schedulers x 3 batches at scale %d (seed %d)...\n",
+		s.Workload.Scale, s.Engine.Seed)
+	c, err := s.RunComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "simulation done in %s\n\n", time.Since(start).Truncate(time.Millisecond))
+
+	emit := func(id string, rep experiments.Report) {
+		if which == "all" || which == id {
+			fmt.Println(rep)
+		}
+	}
+	if which == "all" {
+		fmt.Println(experiments.TableIIReport())
+		fmt.Println(experiments.Fig3().Report())
+	}
+	emit("fig4", experiments.Fig4Report(c))
+	emit("fig5", experiments.Fig5(c).Report())
+	emit("fig6", experiments.Fig6Report(c))
+	emit("tableIII", experiments.TableIII(c).Report())
+	emit("fig7", experiments.Fig7(c).Report())
+	emit("util", experiments.Utilization(c).Report())
+	if which == "all" {
+		if err := runPmin(s); err != nil {
+			return err
+		}
+		if err := runAblations(s); err != nil {
+			return err
+		}
+		pts, err := experiments.ModelComparison(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(renderPoints("models", "Probability-model comparison (Section V future work)", pts))
+		ext, err := experiments.ExtendedComparison(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(renderPoints("extended", "Extended scheduler comparison (incl. LARTS, Capacity)", ext))
+		fp, err := experiments.FaultTolerance(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FaultReport(fp))
+		rep, err := experiments.AnalysisReport(s.Engine.Topology.Racks * s.Engine.Topology.NodesPerRack)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	}
+	return nil
+}
+
+func renderPoints(id, title string, pts []experiments.AblationPoint) experiments.Report {
+	t := metrics.NewTable("Variant", "Mean JCT", "Max JCT", "Network GB", "Unfinished")
+	for _, p := range pts {
+		t.AddRow(p.Variant, fmt.Sprintf("%.1fs", p.MeanJCT), fmt.Sprintf("%.1fs", p.MaxJCT),
+			fmt.Sprintf("%.1f", p.RemoteGB), p.Unfinished)
+	}
+	return experiments.Report{ID: id, Title: title, Body: t.String()}
+}
+
+func runPmin(s experiments.Setup) error {
+	pts, err := experiments.PminSweep(s, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.PminReport(pts))
+	return nil
+}
+
+func runAblations(s experiments.Setup) error {
+	reports, err := experiments.AblationReports(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		fmt.Println(r)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command mrsim runs one simulated MapReduce batch under a chosen
+// task-level scheduler and prints per-job and aggregate results.
+//
+// Usage:
+//
+//	mrsim [-sched probabilistic|coupling|fair] [-workload wordcount|terasort|grep]
+//	      [-scale N] [-seed N] [-nodes N] [-racks N] [-pmin P]
+//	      [-mode hops|netcond] [-crosstraffic N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mapsched"
+
+	"mapsched/internal/metrics"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "probabilistic", "scheduler: probabilistic, coupling, fair")
+		wlName    = flag.String("workload", "wordcount", "batch: wordcount, terasort, grep")
+		scale     = flag.Int("scale", 6, "workload scale divisor")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		nodes     = flag.Int("nodes", 60, "nodes per rack")
+		racks     = flag.Int("racks", 1, "number of racks")
+		pmin      = flag.Float64("pmin", 0.4, "P_min threshold (probabilistic scheduler)")
+		mode      = flag.String("mode", "netcond", "cost mode: hops or netcond")
+		cross     = flag.Int("crosstraffic", 0, "background cross-traffic flows")
+		verbose   = flag.Bool("v", false, "print per-job rows")
+		traceOut  = flag.String("trace", "", "write a JSON task timeline to this file")
+	)
+	flag.Parse()
+
+	kind, err := schedulerKind(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	batch, err := workloadBatch(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	costMode := mapsched.ModeNetworkCondition
+	if *mode == "hops" {
+		costMode = mapsched.ModeHops
+	} else if *mode != "netcond" {
+		fatal(fmt.Errorf("unknown cost mode %q", *mode))
+	}
+
+	cfg := mapsched.DefaultClusterConfig()
+	cfg.Topology.NodesPerRack = *nodes
+	cfg.Topology.Racks = *racks
+
+	res, tr, err := mapsched.RunWithTrace(cfg, batch, kind,
+		mapsched.WithSeed(*seed),
+		mapsched.WithScale(*scale),
+		mapsched.WithPmin(*pmin),
+		mapsched.WithCostMode(costMode),
+		mapsched.WithCrossTraffic(*cross),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d tasks)\n", *traceOut, len(tr.Tasks))
+	}
+
+	if *verbose {
+		t := metrics.NewTable("Job", "Maps", "Reduces", "Completion", "Local maps")
+		for _, j := range res.Jobs {
+			comp := "unfinished"
+			if j.Finished() {
+				comp = metrics.Seconds(j.Completion)
+			}
+			t.AddRow(j.Name, j.NumMaps, j.NumReduces, comp,
+				fmt.Sprintf("%.1f%%", j.MapLocality.PercentNode()))
+		}
+		fmt.Println(t.String())
+	}
+
+	cdf := res.JobCompletionCDF()
+	fmt.Printf("scheduler:          %s\n", res.Scheduler)
+	fmt.Printf("jobs:               %d (%d unfinished)\n", len(res.Jobs), res.Unfinished)
+	fmt.Printf("makespan:           %s\n", metrics.Seconds(res.Makespan))
+	fmt.Printf("job completion:     mean %s, median %s, max %s\n",
+		metrics.Seconds(cdf.Mean()), metrics.Seconds(cdf.Quantile(0.5)), metrics.Seconds(cdf.Max()))
+	fmt.Printf("map tasks:          %d, mean %s\n", len(res.MapTimes), metrics.Seconds(metrics.NewCDF(res.MapTimes).Mean()))
+	fmt.Printf("reduce tasks:       %d, mean %s\n", len(res.ReduceTimes), metrics.Seconds(metrics.NewCDF(res.ReduceTimes).Mean()))
+	fmt.Printf("map locality:       %.2f%% node, %.2f%% rack, %.2f%% remote\n",
+		res.MapLocality.PercentNode(), res.MapLocality.PercentRack(), res.MapLocality.PercentRemote())
+	fmt.Printf("slot utilization:   map %.2f, reduce %.2f\n", res.MapUtilization, res.ReduceUtilization)
+	fmt.Printf("network volume:     map-in %.1f GB, shuffle %.1f GB remote / %.1f GB local\n",
+		res.MapRemoteBytes/1e9, res.ShuffleRemoteBytes/1e9, res.ShuffleLocalBytes/1e9)
+}
+
+func schedulerKind(name string) (mapsched.SchedulerKind, error) {
+	switch strings.ToLower(name) {
+	case "probabilistic", "pna", "prob":
+		return mapsched.SchedulerProbabilistic, nil
+	case "coupling":
+		return mapsched.SchedulerCoupling, nil
+	case "fair":
+		return mapsched.SchedulerFair, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func workloadBatch(name string) ([]mapsched.JobDef, error) {
+	switch strings.ToLower(name) {
+	case "wordcount", "wc":
+		return mapsched.Batch(mapsched.Wordcount), nil
+	case "terasort", "ts":
+		return mapsched.Batch(mapsched.Terasort), nil
+	case "grep":
+		return mapsched.Batch(mapsched.Grep), nil
+	case "all":
+		return mapsched.TableII(), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrsim:", err)
+	os.Exit(1)
+}

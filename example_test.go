@@ -1,0 +1,49 @@
+package mapsched_test
+
+import (
+	"fmt"
+
+	"mapsched"
+)
+
+// Run the paper's Grep batch (scaled down) on a small cluster under the
+// probabilistic network-aware scheduler.
+func ExampleRun() {
+	cfg := mapsched.DefaultClusterConfig()
+	cfg.Topology.NodesPerRack = 12
+
+	res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Grep),
+		mapsched.SchedulerProbabilistic,
+		mapsched.WithSeed(1), mapsched.WithScale(40))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("jobs finished: %d/%d\n", len(res.Jobs)-res.Unfinished, len(res.Jobs))
+	fmt.Printf("every map task recorded: %v\n", res.MapLocality.Total() > 0)
+	// Output:
+	// jobs finished: 10/10
+	// every map task recorded: true
+}
+
+// Compare the three schedulers of the paper's evaluation on one batch.
+func ExampleRun_comparison() {
+	cfg := mapsched.DefaultClusterConfig()
+	cfg.Topology.NodesPerRack = 12
+
+	for _, k := range []mapsched.SchedulerKind{
+		mapsched.SchedulerProbabilistic,
+		mapsched.SchedulerCoupling,
+		mapsched.SchedulerFair,
+	} {
+		res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Terasort), k,
+			mapsched.WithSeed(1), mapsched.WithScale(40))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v: %d jobs done\n", k, len(res.Jobs)-res.Unfinished)
+	}
+	// Output:
+	// Probabilistic: 10 jobs done
+	// Coupling: 10 jobs done
+	// Fair: 10 jobs done
+}

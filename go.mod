@@ -1,0 +1,3 @@
+module mapsched
+
+go 1.22

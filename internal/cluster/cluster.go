@@ -1,0 +1,266 @@
+// Package cluster models the slot-based resource state of a Hadoop 1.x
+// cluster: each node exposes a fixed number of map and reduce computing
+// slots, acquired when a task launches and released at completion.
+package cluster
+
+import (
+	"fmt"
+
+	"mapsched/internal/topology"
+)
+
+// Resources is a YARN-style capacity vector.
+type Resources struct {
+	MemMB  int
+	VCores int
+}
+
+// fits reports whether adding req to used stays within cap.
+func fits(used, req, cap Resources) bool {
+	return used.MemMB+req.MemMB <= cap.MemMB && used.VCores+req.VCores <= cap.VCores
+}
+
+// headroom returns how many req-sized containers fit into cap−used.
+func headroom(used, req, cap Resources) int {
+	if req.MemMB <= 0 || req.VCores <= 0 {
+		return 0
+	}
+	m := (cap.MemMB - used.MemMB) / req.MemMB
+	v := (cap.VCores - used.VCores) / req.VCores
+	if v < m {
+		m = v
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// Node is the slot state of one TaskTracker. It operates in one of two
+// modes: Hadoop 1.x fixed slots (the paper's testbed), or a YARN-style
+// container model where map and reduce tasks request resource vectors
+// from a shared node capacity (the paper's Section V future work).
+type Node struct {
+	ID          topology.NodeID
+	MapSlots    int
+	ReduceSlots int
+
+	usedMap    int
+	usedReduce int
+	offline    bool
+
+	resourceMode      bool
+	capacity          Resources
+	used              Resources
+	mapReq, reduceReq Resources
+}
+
+// SetOffline marks the node dead (failure injection): it stops offering
+// slots. Slot bookkeeping of already-killed tasks must be released before
+// going offline.
+func (n *Node) SetOffline(off bool) { n.offline = off }
+
+// Offline reports whether the node is dead.
+func (n *Node) Offline() bool { return n.offline }
+
+// EnableResources switches the node to the container model with the given
+// capacity and per-task requests.
+func (n *Node) EnableResources(capacity, mapReq, reduceReq Resources) error {
+	if capacity.MemMB <= 0 || capacity.VCores <= 0 {
+		return fmt.Errorf("cluster: node %d: capacity must be positive", n.ID)
+	}
+	if mapReq.MemMB <= 0 || mapReq.VCores <= 0 || reduceReq.MemMB <= 0 || reduceReq.VCores <= 0 {
+		return fmt.Errorf("cluster: node %d: container requests must be positive", n.ID)
+	}
+	if n.usedMap != 0 || n.usedReduce != 0 {
+		return fmt.Errorf("cluster: node %d: cannot switch modes with tasks running", n.ID)
+	}
+	n.resourceMode = true
+	n.capacity = capacity
+	n.mapReq = mapReq
+	n.reduceReq = reduceReq
+	return nil
+}
+
+// ResourceMode reports whether the node uses the container model.
+func (n *Node) ResourceMode() bool { return n.resourceMode }
+
+// Used returns the consumed resources (container mode only).
+func (n *Node) Used() Resources { return n.used }
+
+// FreeMapSlots returns how many more map tasks the node can start right
+// now (0 when offline). In container mode this is the resource headroom
+// measured in map containers.
+func (n *Node) FreeMapSlots() int {
+	if n.offline {
+		return 0
+	}
+	if n.resourceMode {
+		return headroom(n.used, n.mapReq, n.capacity)
+	}
+	return n.MapSlots - n.usedMap
+}
+
+// FreeReduceSlots returns how many more reduce tasks the node can start
+// right now (0 when offline).
+func (n *Node) FreeReduceSlots() int {
+	if n.offline {
+		return 0
+	}
+	if n.resourceMode {
+		return headroom(n.used, n.reduceReq, n.capacity)
+	}
+	return n.ReduceSlots - n.usedReduce
+}
+
+// UsedMapSlots returns the number of occupied map slots.
+func (n *Node) UsedMapSlots() int { return n.usedMap }
+
+// UsedReduceSlots returns the number of occupied reduce slots.
+func (n *Node) UsedReduceSlots() int { return n.usedReduce }
+
+// AcquireMap occupies a map slot (or container); it fails when none fits.
+func (n *Node) AcquireMap() error {
+	if n.resourceMode {
+		if !fits(n.used, n.mapReq, n.capacity) {
+			return fmt.Errorf("cluster: node %d has no room for a map container", n.ID)
+		}
+		n.used.MemMB += n.mapReq.MemMB
+		n.used.VCores += n.mapReq.VCores
+		n.usedMap++
+		return nil
+	}
+	if n.usedMap >= n.MapSlots {
+		return fmt.Errorf("cluster: node %d has no free map slot", n.ID)
+	}
+	n.usedMap++
+	return nil
+}
+
+// ReleaseMap frees a map slot; releasing an unheld slot panics (it is
+// always an engine bug).
+func (n *Node) ReleaseMap() {
+	if n.usedMap <= 0 {
+		panic(fmt.Sprintf("cluster: node %d released an unheld map slot", n.ID))
+	}
+	n.usedMap--
+	if n.resourceMode {
+		n.used.MemMB -= n.mapReq.MemMB
+		n.used.VCores -= n.mapReq.VCores
+	}
+}
+
+// AcquireReduce occupies a reduce slot (or container).
+func (n *Node) AcquireReduce() error {
+	if n.resourceMode {
+		if !fits(n.used, n.reduceReq, n.capacity) {
+			return fmt.Errorf("cluster: node %d has no room for a reduce container", n.ID)
+		}
+		n.used.MemMB += n.reduceReq.MemMB
+		n.used.VCores += n.reduceReq.VCores
+		n.usedReduce++
+		return nil
+	}
+	if n.usedReduce >= n.ReduceSlots {
+		return fmt.Errorf("cluster: node %d has no free reduce slot", n.ID)
+	}
+	n.usedReduce++
+	return nil
+}
+
+// ReleaseReduce frees a reduce slot (or container).
+func (n *Node) ReleaseReduce() {
+	if n.usedReduce <= 0 {
+		panic(fmt.Sprintf("cluster: node %d released an unheld reduce slot", n.ID))
+	}
+	n.usedReduce--
+	if n.resourceMode {
+		n.used.MemMB -= n.reduceReq.MemMB
+		n.used.VCores -= n.reduceReq.VCores
+	}
+}
+
+// State is the slot state of the whole cluster.
+type State struct {
+	nodes []*Node
+}
+
+// New creates a cluster of n nodes with uniform slot counts.
+func New(n, mapSlots, reduceSlots int) (*State, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: %d nodes, need >= 1", n)
+	}
+	if mapSlots < 0 || reduceSlots < 0 {
+		return nil, fmt.Errorf("cluster: negative slot counts")
+	}
+	s := &State{nodes: make([]*Node, n)}
+	for i := range s.nodes {
+		s.nodes[i] = &Node{ID: topology.NodeID(i), MapSlots: mapSlots, ReduceSlots: reduceSlots}
+	}
+	return s, nil
+}
+
+// Size returns the node count.
+func (s *State) Size() int { return len(s.nodes) }
+
+// Node returns the node with the given ID.
+func (s *State) Node(id topology.NodeID) *Node { return s.nodes[id] }
+
+// AvailMapNodes returns the IDs of nodes with at least one free map slot
+// (the N_m set of Formula 4), in ID order for determinism.
+func (s *State) AvailMapNodes() []topology.NodeID {
+	var out []topology.NodeID
+	for _, n := range s.nodes {
+		if n.FreeMapSlots() > 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// AvailReduceNodes returns the IDs of nodes with at least one free reduce
+// slot (the N_r set of Formula 5).
+func (s *State) AvailReduceNodes() []topology.NodeID {
+	var out []topology.NodeID
+	for _, n := range s.nodes {
+		if n.FreeReduceSlots() > 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// UsedSlots returns the cluster-wide occupied map and reduce slot counts.
+func (s *State) UsedSlots() (maps, reduces int) {
+	for _, n := range s.nodes {
+		maps += n.usedMap
+		reduces += n.usedReduce
+	}
+	return maps, reduces
+}
+
+// TotalSlots returns the cluster-wide slot capacities. In container mode
+// the capacity is expressed as how many containers of each kind would fit
+// an idle cluster.
+func (s *State) TotalSlots() (maps, reduces int) {
+	for _, n := range s.nodes {
+		if n.resourceMode {
+			maps += headroom(Resources{}, n.mapReq, n.capacity)
+			reduces += headroom(Resources{}, n.reduceReq, n.capacity)
+			continue
+		}
+		maps += n.MapSlots
+		reduces += n.ReduceSlots
+	}
+	return maps, reduces
+}
+
+// EnableResources switches every node to the container model.
+func (s *State) EnableResources(capacity, mapReq, reduceReq Resources) error {
+	for _, n := range s.nodes {
+		if err := n.EnableResources(capacity, mapReq, reduceReq); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 2); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New(3, -1, 2); err == nil {
+		t.Error("negative slots accepted")
+	}
+	s, err := New(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	m, r := s.TotalSlots()
+	if m != 12 || r != 6 {
+		t.Fatalf("TotalSlots = (%d,%d)", m, r)
+	}
+}
+
+func TestSlotLifecycle(t *testing.T) {
+	s, err := New(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Node(0)
+	if n.FreeMapSlots() != 2 || n.FreeReduceSlots() != 1 {
+		t.Fatal("fresh node has wrong free counts")
+	}
+	if err := n.AcquireMap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AcquireMap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AcquireMap(); err == nil {
+		t.Fatal("over-acquired map slot")
+	}
+	if n.UsedMapSlots() != 2 {
+		t.Fatalf("UsedMapSlots = %d", n.UsedMapSlots())
+	}
+	n.ReleaseMap()
+	if n.FreeMapSlots() != 1 {
+		t.Fatal("release did not free slot")
+	}
+	if err := n.AcquireReduce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AcquireReduce(); err == nil {
+		t.Fatal("over-acquired reduce slot")
+	}
+	n.ReleaseReduce()
+	if n.UsedReduceSlots() != 0 {
+		t.Fatal("reduce slot not released")
+	}
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	s, _ := New(1, 1, 1)
+	n := s.Node(0)
+	for _, f := range []func(){n.ReleaseMap, n.ReleaseReduce} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("releasing unheld slot did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAvailNodeSets(t *testing.T) {
+	s, _ := New(3, 1, 1)
+	if got := s.AvailMapNodes(); len(got) != 3 {
+		t.Fatalf("AvailMapNodes = %v", got)
+	}
+	if err := s.Node(1).AcquireMap(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.AvailMapNodes()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("AvailMapNodes after acquire = %v", got)
+	}
+	if err := s.Node(0).AcquireReduce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Node(2).AcquireReduce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AvailReduceNodes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("AvailReduceNodes = %v", got)
+	}
+	um, ur := s.UsedSlots()
+	if um != 1 || ur != 2 {
+		t.Fatalf("UsedSlots = (%d,%d)", um, ur)
+	}
+}
+
+func TestResourceModeAccounting(t *testing.T) {
+	s, err := New(1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Node(0)
+	cap := Resources{MemMB: 8192, VCores: 8}
+	mapReq := Resources{MemMB: 2048, VCores: 2}
+	redReq := Resources{MemMB: 4096, VCores: 4}
+	if err := n.EnableResources(cap, mapReq, redReq); err != nil {
+		t.Fatal(err)
+	}
+	if !n.ResourceMode() {
+		t.Fatal("resource mode not enabled")
+	}
+	if n.FreeMapSlots() != 4 || n.FreeReduceSlots() != 2 {
+		t.Fatalf("idle headroom = %d/%d, want 4/2", n.FreeMapSlots(), n.FreeReduceSlots())
+	}
+	// One reduce container consumes half the node: only 2 maps fit beside it.
+	if err := n.AcquireReduce(); err != nil {
+		t.Fatal(err)
+	}
+	if n.FreeMapSlots() != 2 {
+		t.Fatalf("map headroom beside a reduce = %d, want 2", n.FreeMapSlots())
+	}
+	if err := n.AcquireMap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AcquireMap(); err != nil {
+		t.Fatal(err)
+	}
+	if n.FreeMapSlots() != 0 || n.FreeReduceSlots() != 0 {
+		t.Fatal("node should be full")
+	}
+	if err := n.AcquireMap(); err == nil {
+		t.Fatal("over-committed a full node")
+	}
+	// Releases restore the full capacity.
+	n.ReleaseMap()
+	n.ReleaseMap()
+	n.ReleaseReduce()
+	if n.Used() != (Resources{}) {
+		t.Fatalf("resources leaked: %+v", n.Used())
+	}
+	if n.FreeMapSlots() != 4 {
+		t.Fatal("capacity not restored")
+	}
+}
+
+func TestResourceModeFungibility(t *testing.T) {
+	// The YARN benefit: the whole node can go to maps when no reduces run,
+	// unlike the fixed 4+2 split.
+	s, _ := New(1, 4, 2)
+	n := s.Node(0)
+	if err := n.EnableResources(Resources{MemMB: 16384, VCores: 16},
+		Resources{MemMB: 2048, VCores: 2}, Resources{MemMB: 4096, VCores: 4}); err != nil {
+		t.Fatal(err)
+	}
+	launched := 0
+	for n.FreeMapSlots() > 0 {
+		if err := n.AcquireMap(); err != nil {
+			t.Fatal(err)
+		}
+		launched++
+	}
+	if launched != 8 {
+		t.Fatalf("container mode ran %d maps on an idle node, want 8", launched)
+	}
+}
+
+func TestResourceModeValidation(t *testing.T) {
+	s, _ := New(1, 1, 1)
+	n := s.Node(0)
+	if err := n.EnableResources(Resources{}, Resources{MemMB: 1, VCores: 1}, Resources{MemMB: 1, VCores: 1}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if err := n.EnableResources(Resources{MemMB: 1, VCores: 1}, Resources{}, Resources{MemMB: 1, VCores: 1}); err == nil {
+		t.Error("zero map request accepted")
+	}
+	if err := n.AcquireMap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EnableResources(Resources{MemMB: 8, VCores: 8}, Resources{MemMB: 1, VCores: 1}, Resources{MemMB: 1, VCores: 1}); err == nil {
+		t.Error("mode switch with running tasks accepted")
+	}
+	n.ReleaseMap()
+	// Cluster-wide enable.
+	s2, _ := New(3, 1, 1)
+	if err := s2.EnableResources(Resources{MemMB: 4096, VCores: 4},
+		Resources{MemMB: 1024, VCores: 1}, Resources{MemMB: 2048, VCores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, r := s2.TotalSlots()
+	if m != 12 || r != 6 {
+		t.Fatalf("cluster container capacity = %d/%d, want 12/6", m, r)
+	}
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mapsched/internal/hdfs"
+	"mapsched/internal/job"
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+)
+
+// fig2H is the distance matrix of the paper's Fig. 2 worked example.
+var fig2H = [][]float64{
+	{0, 10, 2, 6},
+	{10, 0, 10, 4},
+	{2, 10, 0, 6},
+	{6, 4, 6, 0},
+}
+
+type fixedPolicy struct{ nodes []topology.NodeID }
+
+func (p fixedPolicy) Name() string { return "fixed" }
+func (p fixedPolicy) Place(topology.Network, *sim.RNG, int) []topology.NodeID {
+	return p.nodes
+}
+
+// fig2Setup builds the Fig. 2 scenario: 4 nodes, M1's block on D1 (node 0),
+// M2's block on D2 (node 1), both 128 MB, 2 reduce partitions with
+// I = [[10,5],[20,10]] MB.
+func fig2Setup(t *testing.T) (*CostModel, *job.Job) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net, err := topology.NewMatrix(eng, fig2H, nil, 100e6, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := hdfs.NewStore(net, sim.NewRNG(1))
+	prof := job.Profile{
+		Name: "fig2", MapSelectivity: 1, MapRate: 1e6, ReduceRate: 1e6,
+	}
+	// Two blocks at fixed locations: rebuild the job by hand so the
+	// intermediate matrix matches the paper exactly.
+	b1, err := store.AddBlock(128, 1, fixedPolicy{nodes: []topology.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := store.AddBlock(128, 1, fixedPolicy{nodes: []topology.NodeID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &job.Job{ID: 1, Spec: job.Spec{Name: "fig2", Profile: prof}}
+	j.Maps = []*job.MapTask{
+		{Job: j, Index: 0, Block: b1, Size: 128, Out: []float64{10, 5}, OutputCurve: 1, Node: -1},
+		{Job: j, Index: 1, Block: b2, Size: 128, Out: []float64{20, 10}, OutputCurve: 1, Node: -1},
+	}
+	j.Reduces = []*job.ReduceTask{
+		{Job: j, Index: 0, Node: -1},
+		{Job: j, Index: 1, Node: -1},
+	}
+	cm, err := NewCostModel(net, store, nil, ModeHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm, j
+}
+
+func TestFig2MapCosts(t *testing.T) {
+	cm, j := fig2Setup(t)
+	// "The transmission cost for M1 [on D3] is 128 × 2 = 256 and the cost
+	// for M2 [on D2] is 128 × 0 = 0."
+	if got := cm.MapCost(j.Maps[0], 2); got != 256 {
+		t.Fatalf("C_m(D3, M1) = %v, want 256", got)
+	}
+	if got := cm.MapCost(j.Maps[1], 1); got != 0 {
+		t.Fatalf("C_m(D2, M2) = %v, want 0", got)
+	}
+	// All placements of M1 (block on D1): D1=0, D2=128*10, D3=128*2, D4=128*6.
+	want := []float64{0, 1280, 256, 768}
+	for i, w := range want {
+		if got := cm.MapCost(j.Maps[0], topology.NodeID(i)); got != w {
+			t.Fatalf("C_m(D%d, M1) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestFig2ReduceCosts(t *testing.T) {
+	cm, j := fig2Setup(t)
+	// Fix the map placement of the example: M1 on D3 (node 2), M2 on D2
+	// (node 1), both finished.
+	j.Maps[0].State = job.TaskDone
+	j.Maps[0].Node = 2
+	j.Maps[1].State = job.TaskDone
+	j.Maps[1].Node = 1
+	rc := cm.NewReduceCoster(j, Oracle{})
+
+	// Formula 2 by hand with the paper's H and I (the figure's own
+	// mapper→reducer distance matrix contains a typo — it lists
+	// M2→R1 = 4 although h(D2, D1) = 10 in H — so we validate against the
+	// formula, not the figure):
+	// C_r(D1, R1) = h(D3,D1)·I11 + h(D2,D1)·I21 = 2·10 + 10·20 = 220.
+	if got := rc.Cost(0, 0); got != 220 {
+		t.Fatalf("C_r(D1, R1) = %v, want 220", got)
+	}
+	// C_r(D3, R2) = h(D3,D3)·I12 + h(D2,D3)·I22 = 0·5 + 10·10 = 100.
+	if got := rc.Cost(2, 1); got != 100 {
+		t.Fatalf("C_r(D3, R2) = %v, want 100", got)
+	}
+	// A placement on the map's own node only pays the other map's path:
+	// C_r(D2, R1) = h(D3,D2)·10 + 0·20 = 100.
+	if got := rc.Cost(1, 0); got != 100 {
+		t.Fatalf("C_r(D2, R1) = %v, want 100", got)
+	}
+}
+
+func TestReduceCosterIgnoresPendingMaps(t *testing.T) {
+	cm, j := fig2Setup(t)
+	j.Maps[0].State = job.TaskDone
+	j.Maps[0].Node = 2
+	// Map 1 still pending: contributes nothing to Formula 2's X matrix.
+	rc := cm.NewReduceCoster(j, Oracle{})
+	if got := rc.Cost(0, 0); got != 2*10 {
+		t.Fatalf("cost with one launched map = %v, want 20", got)
+	}
+	if got := rc.TotalEstimated(0); got != 10 {
+		t.Fatalf("TotalEstimated = %v, want 10", got)
+	}
+}
+
+func TestPaperEstimatorExample(t *testing.T) {
+	// Section II-B-2's example: at time t1, M2 (final 10 MB for R1) is 10%
+	// done, M1 (final ~5.56 MB) has produced 5 MB at 90% done. The
+	// progress-scaled estimator must rank M2's node as the heavier source,
+	// while the current-size view ranks M1 higher.
+	cm, j := fig2Setup(t)
+	m1, m2 := j.Maps[0], j.Maps[1]
+	m1.Out = []float64{5.0 / 0.9, 0} // ≈5.56 MB final, 5 MB at 90%
+	m2.Out = []float64{10, 0}
+	m1.State, m2.State = job.TaskRunning, job.TaskRunning
+	m1.Node, m2.Node = 0, 1
+	m1.OutputCurve, m2.OutputCurve = 1, 1
+	m1.Progress, m2.Progress = 0.9, 0.1
+
+	ps := ProgressScaled{}
+	cs := CurrentSize{}
+	if est := ps.EstimateOutput(m2, 0); math.Abs(est-10) > 1e-9 {
+		t.Fatalf("progress-scaled Î for M2 = %v, want 10", est)
+	}
+	if est := ps.EstimateOutput(m1, 0); math.Abs(est-5.0/0.9) > 1e-9 {
+		t.Fatalf("progress-scaled Î for M1 = %v, want %v", est, 5.0/0.9)
+	}
+	if cs.EstimateOutput(m1, 0) <= cs.EstimateOutput(m2, 0) {
+		t.Fatal("current-size should rank M1 above M2 (the paper's failure case)")
+	}
+	if ps.EstimateOutput(m1, 0) >= ps.EstimateOutput(m2, 0) {
+		t.Fatal("progress-scaled should rank M2 above M1")
+	}
+	_ = cm
+}
+
+func TestEstimatorZeroProgress(t *testing.T) {
+	_, j := fig2Setup(t)
+	m := j.Maps[0]
+	m.State = job.TaskRunning
+	m.Progress = 0
+	for _, est := range []Estimator{ProgressScaled{}, CurrentSize{}} {
+		if v := est.EstimateOutput(m, 0); v != 0 {
+			t.Fatalf("%s at zero progress = %v, want 0", est.Name(), v)
+		}
+	}
+	if v := (Oracle{}).EstimateOutput(m, 0); v != m.Out[0] {
+		t.Fatalf("oracle = %v, want ground truth %v", v, m.Out[0])
+	}
+}
+
+func TestEstimatorExactOnDoneMaps(t *testing.T) {
+	_, j := fig2Setup(t)
+	m := j.Maps[1]
+	m.State = job.TaskDone
+	for _, est := range []Estimator{ProgressScaled{}, CurrentSize{}, Oracle{}} {
+		if v := est.EstimateOutput(m, 1); v != m.Out[1] {
+			t.Fatalf("%s on done map = %v, want %v", est.Name(), v, m.Out[1])
+		}
+	}
+}
+
+func TestEstimatorConvergesWithCurvedOutput(t *testing.T) {
+	_, j := fig2Setup(t)
+	m := j.Maps[0]
+	m.State = job.TaskRunning
+	m.OutputCurve = 1.3 // output lags input
+	prevErr := math.Inf(1)
+	ps := ProgressScaled{}
+	for _, p := range []float64{0.2, 0.5, 0.8, 0.99} {
+		m.Progress = p
+		err := math.Abs(ps.EstimateOutput(m, 0) - m.Out[0])
+		if err > prevErr+1e-12 {
+			t.Fatalf("estimator error grew from %v to %v at progress %v", prevErr, err, p)
+		}
+		prevErr = err
+	}
+}
+
+func TestAssignProbFormula(t *testing.T) {
+	// P = 1 - e^{-avg/cost}.
+	cases := []struct {
+		avg, cost, want float64
+	}{
+		{100, 100, 1 - math.Exp(-1)},
+		{200, 100, 1 - math.Exp(-2)},
+		{50, 100, 1 - math.Exp(-0.5)},
+		{0, 100, 0}, // everything else is better
+		{100, 0, 1}, // local data
+		{0, 0, 1},   // all free placements equal
+		{100, math.Inf(1), 0},
+	}
+	for _, c := range cases {
+		if got := AssignProb(c.avg, c.cost); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("AssignProb(%v, %v) = %v, want %v", c.avg, c.cost, got, c.want)
+		}
+	}
+}
+
+func TestAssignProbProperties(t *testing.T) {
+	// Property: P ∈ [0,1]; monotone increasing in avg, decreasing in cost.
+	f := func(a, c uint32) bool {
+		avg := float64(a%10000) + 0.5
+		cost := float64(c%10000) + 0.5
+		p := AssignProb(avg, cost)
+		if p < 0 || p > 1 {
+			return false
+		}
+		if AssignProb(avg*2, cost) < p {
+			return false
+		}
+		if AssignProb(avg, cost*2) > p {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostCeiling(t *testing.T) {
+	// From P >= Pmin: C <= C_avg / (-ln(1-Pmin)). At the ceiling the
+	// probability equals Pmin exactly.
+	for _, pmin := range []float64{0.1, 0.4, 0.63, 0.9} {
+		ceil := CostCeiling(pmin)
+		avg := 123.0
+		p := AssignProb(avg, avg*ceil)
+		if math.Abs(p-pmin) > 1e-9 {
+			t.Errorf("AssignProb at ceiling(%v) = %v, want %v", pmin, p, pmin)
+		}
+	}
+	if !math.IsInf(CostCeiling(0), 1) || !math.IsInf(CostCeiling(1), 1) {
+		t.Error("degenerate pmin should have no ceiling")
+	}
+}
+
+func TestSelectMapTaskPrefersLocal(t *testing.T) {
+	cm, j := fig2Setup(t)
+	avail := []topology.NodeID{0, 1, 2, 3}
+	// On D1 (node 0): M1's block is local (P = 1), M2's is 10 hops away.
+	best, ok := SelectMapTask(cm, j.Maps, 0, avail)
+	if !ok {
+		t.Fatal("no candidate selected")
+	}
+	if best.MapTask != j.Maps[0] {
+		t.Fatalf("selected M%d, want M1 (local data)", best.MapTask.Index+1)
+	}
+	if best.Prob != 1 || best.Cost != 0 {
+		t.Fatalf("local selection P=%v C=%v, want P=1 C=0", best.Prob, best.Cost)
+	}
+	// On D4 (node 3): neither block local; M2 (10 hops from D1... D2→D4 is
+	// 4) is nearer than M1 (D1→D4 is 6): M2 wins.
+	best, ok = SelectMapTask(cm, j.Maps, 3, avail)
+	if !ok {
+		t.Fatal("no candidate selected on D4")
+	}
+	if best.MapTask != j.Maps[1] {
+		t.Fatalf("selected M%d on D4, want M2", best.MapTask.Index+1)
+	}
+	if best.Prob <= 0 || best.Prob >= 1 {
+		t.Fatalf("remote selection P=%v, want in (0,1)", best.Prob)
+	}
+}
+
+func TestSelectMapTaskEmpty(t *testing.T) {
+	cm, _ := fig2Setup(t)
+	if _, ok := SelectMapTask(cm, nil, 0, []topology.NodeID{0}); ok {
+		t.Fatal("selection from empty candidate list succeeded")
+	}
+}
+
+func TestSelectReduceTask(t *testing.T) {
+	cm, j := fig2Setup(t)
+	j.Maps[0].State = job.TaskDone
+	j.Maps[0].Node = 2
+	j.Maps[1].State = job.TaskDone
+	j.Maps[1].Node = 1
+	rc := cm.NewReduceCoster(j, Oracle{})
+	avail := []topology.NodeID{0, 1, 2, 3}
+	// On D2 (node 1, where the heavy mapper M2 ran) both reduces are
+	// cheap; the selection must return the one with the higher P.
+	best, ok := SelectReduceTask(rc, j.Reduces, 1, avail)
+	if !ok {
+		t.Fatal("no reduce selected")
+	}
+	other := j.Reduces[1-best.ReduceTask.Index]
+	pOther := AssignProb(rc.CostAvg(other.Index, avail), rc.Cost(1, other.Index))
+	if best.Prob < pOther {
+		t.Fatalf("selected P=%v but other candidate has P=%v", best.Prob, pOther)
+	}
+}
+
+func TestSelectReduceBeforeAnyMapLaunched(t *testing.T) {
+	cm, j := fig2Setup(t)
+	rc := cm.NewReduceCoster(j, ProgressScaled{})
+	best, ok := SelectReduceTask(rc, j.Reduces, 0, []topology.NodeID{0, 1})
+	if !ok {
+		t.Fatal("no reduce selected with zero information")
+	}
+	// With no launched maps every cost is 0 → P = 1 (assign freely).
+	if best.Prob != 1 {
+		t.Fatalf("zero-information P = %v, want 1", best.Prob)
+	}
+}
+
+func TestCentrality(t *testing.T) {
+	cm, j := fig2Setup(t)
+	j.Maps[0].State = job.TaskDone
+	j.Maps[0].Node = 2 // I_1* = [10, 5] at D3
+	j.Maps[1].State = job.TaskDone
+	j.Maps[1].Node = 1 // I_2* = [20, 10] at D2
+	rc := cm.NewReduceCoster(j, Oracle{})
+	// For R1 the candidates' costs: D1: 220, D2: 100, D3: 200, D4: 140.
+	got, ok := rc.Centrality(0, []topology.NodeID{0, 1, 2, 3})
+	if !ok || got != 1 {
+		t.Fatalf("Centrality = (%v,%v), want node 1 (D2)", got, ok)
+	}
+	if _, ok := rc.Centrality(0, nil); ok {
+		t.Fatal("Centrality with no candidates returned ok")
+	}
+}
+
+func TestLocalityClassification(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := topology.DefaultSpec()
+	spec.Racks = 2
+	spec.NodesPerRack = 4 // 0-3 rack0, 4-7 rack1
+	net, err := topology.NewCluster(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := hdfs.NewStore(net, sim.NewRNG(1))
+	b, err := store.AddBlock(128, 2, fixedPolicy{nodes: []topology.NodeID{1, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &job.MapTask{Block: b, Size: 128, Out: []float64{1}}
+	cm, err := NewCostModel(net, store, nil, ModeHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.Locality(m, 1); got != job.LocalNode {
+		t.Fatalf("on replica node: %v, want local node", got)
+	}
+	if got := cm.Locality(m, 0); got != job.LocalRack {
+		t.Fatalf("same rack as replica: %v, want local rack", got)
+	}
+	spec3 := topology.DefaultSpec()
+	spec3.Racks = 3
+	spec3.NodesPerRack = 4
+	net3, err := topology.NewCluster(eng, spec3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store3 := hdfs.NewStore(net3, sim.NewRNG(1))
+	b3, err := store3.AddBlock(128, 2, fixedPolicy{nodes: []topology.NodeID{0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := &job.MapTask{Block: b3, Size: 128, Out: []float64{1}}
+	cm3, err := NewCostModel(net3, store3, nil, ModeHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cm3.Locality(m3, 9); got != job.Remote {
+		t.Fatalf("third rack: %v, want remote", got)
+	}
+}
+
+func TestNetworkConditionMode(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := topology.DefaultSpec()
+	spec.Racks = 1
+	spec.NodesPerRack = 4
+	net, err := topology.NewCluster(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := hdfs.NewStore(net, sim.NewRNG(1))
+	cm, err := NewCostModel(net, store, net, ModeNetworkCondition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := cm.Distance(0, 1)
+	if idle <= 0 {
+		t.Fatalf("idle inverse-rate distance = %v, want > 0", idle)
+	}
+	// Congest node 0's uplink and verify the distance grows.
+	net.Transfer(0, 2, 1e12, nil)
+	busy := cm.Distance(0, 1)
+	if busy <= idle {
+		t.Fatalf("congested distance %v not above idle %v", busy, idle)
+	}
+	// Local distance is small but non-zero (1/diskRate).
+	local := cm.Distance(1, 1)
+	if local <= 0 || local >= idle {
+		t.Fatalf("local distance %v, want in (0, %v)", local, idle)
+	}
+	// Mode validation.
+	if _, err := NewCostModel(net, store, nil, ModeNetworkCondition); err == nil {
+		t.Fatal("network-condition mode without observer accepted")
+	}
+	if ModeHops.String() != "hops" || ModeNetworkCondition.String() != "network-condition" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestNewCostModelValidation(t *testing.T) {
+	if _, err := NewCostModel(nil, nil, nil, ModeHops); err == nil {
+		t.Fatal("nil deps accepted")
+	}
+}
+
+func TestMapCostAvgEmptyAvail(t *testing.T) {
+	cm, j := fig2Setup(t)
+	if got := cm.MapCostAvg(j.Maps[0], nil); got != 0 {
+		t.Fatalf("avg over no nodes = %v, want 0", got)
+	}
+}
+
+func TestMapCostPropertyMonotoneInSize(t *testing.T) {
+	cm, j := fig2Setup(t)
+	m := j.Maps[0]
+	small := *m
+	small.Size = m.Size / 2
+	for i := 0; i < 4; i++ {
+		n := topology.NodeID(i)
+		if cm.MapCost(&small, n) > cm.MapCost(m, n) {
+			t.Fatalf("halving block size increased cost on node %d", i)
+		}
+	}
+}

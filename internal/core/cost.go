@@ -1,0 +1,270 @@
+// Package core implements the paper's contribution: the fine-grained data
+// transmission cost model (Formulas 1–3), the progress-based estimator of
+// intermediate data size (Section II-B-2), and the probabilistic placement
+// rule P = 1 − exp(−C_avg/C) with its threshold P_min (Formulas 4–5,
+// Algorithms 1–2). It is deliberately independent of the simulation engine:
+// everything here operates on the scheduler-visible state of jobs and the
+// network, so the same code could back a real JobTracker plug-in.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mapsched/internal/hdfs"
+	"mapsched/internal/job"
+	"mapsched/internal/topology"
+)
+
+// Mode selects how the distance matrix H is interpreted.
+type Mode int
+
+const (
+	// ModeHops uses the hop-count distance matrix H directly (Formula 1–3).
+	ModeHops Mode = iota
+	// ModeNetworkCondition replaces each h_ab with the inverse of the
+	// currently observed transmission rate of the path a→b
+	// (Section II-B-3), so congested paths look "farther".
+	ModeNetworkCondition
+)
+
+// String names the mode for experiment output.
+func (m Mode) String() string {
+	switch m {
+	case ModeHops:
+		return "hops"
+	case ModeNetworkCondition:
+		return "network-condition"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// CostModel evaluates the transmission cost of candidate task placements.
+type CostModel struct {
+	net   topology.Network
+	store *hdfs.Store
+	rate  topology.RateObserver // required for ModeNetworkCondition
+	mode  Mode
+}
+
+// NewCostModel builds a cost model. rate may be nil when mode is ModeHops.
+func NewCostModel(net topology.Network, store *hdfs.Store, rate topology.RateObserver, mode Mode) (*CostModel, error) {
+	if net == nil || store == nil {
+		return nil, fmt.Errorf("core: nil network or store")
+	}
+	if mode == ModeNetworkCondition && rate == nil {
+		return nil, fmt.Errorf("core: network-condition mode requires a rate observer")
+	}
+	return &CostModel{net: net, store: store, rate: rate, mode: mode}, nil
+}
+
+// Mode returns the distance interpretation in use.
+func (c *CostModel) Mode() Mode { return c.mode }
+
+// Distance returns the effective H entry for the pair (a, b): hop count in
+// ModeHops, or 1/rate in ModeNetworkCondition. The diagonal of H is 0 in
+// hop mode; in network-condition mode a local transfer costs 1/diskRate,
+// which is negligible next to any network path, preserving the paper's
+// "local task has (almost) zero cost" property.
+func (c *CostModel) Distance(a, b topology.NodeID) float64 {
+	switch c.mode {
+	case ModeNetworkCondition:
+		r := c.rate.PathRate(a, b)
+		if r <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / r
+	default:
+		return c.net.Distance(a, b)
+	}
+}
+
+// MapCost returns C_m(i,j) = B_j · min_{l: L_lj=1} h_il (Formula 1): the
+// cost of running map task m on node i, reading from the nearest replica.
+func (c *CostModel) MapCost(m *job.MapTask, i topology.NodeID) float64 {
+	best := math.Inf(1)
+	for _, l := range c.store.Replicas(m.Block) {
+		if d := c.Distance(i, l); d < best {
+			best = d
+			if best == 0 {
+				break
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return math.Inf(1) // no replicas: unschedulable
+	}
+	return m.Size * best
+}
+
+// MapCostAvg returns C_avg = Σ_k C_m(k,j) / N_m over the nodes that
+// currently have free map slots (Algorithm 1 line 6).
+func (c *CostModel) MapCostAvg(m *job.MapTask, avail []topology.NodeID) float64 {
+	if len(avail) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, k := range avail {
+		sum += c.MapCost(m, k)
+	}
+	return sum / float64(len(avail))
+}
+
+// Locality classifies a map placement for the Table III metrics: on a
+// replica node, in a replica's rack, or remote.
+func (c *CostModel) Locality(m *job.MapTask, i topology.NodeID) job.Locality {
+	rack := c.net.Rack(i)
+	sameRack := false
+	for _, l := range c.store.Replicas(m.Block) {
+		if l == i {
+			return job.LocalNode
+		}
+		if c.net.Rack(l) == rack {
+			sameRack = true
+		}
+	}
+	if sameRack {
+		return job.LocalRack
+	}
+	return job.Remote
+}
+
+// ReduceCoster evaluates Formula 3 for one job at one scheduling instant.
+// It aggregates the estimated intermediate volume by map-hosting node
+// (S_pf = Σ_{maps j on p} Î_jf), so evaluating a candidate node costs
+// O(#map-nodes) rather than O(#maps).
+type ReduceCoster struct {
+	cm    *CostModel
+	j     *job.Job
+	est   Estimator
+	nodes []topology.NodeID // nodes hosting ≥1 launched map
+	s     [][]float64       // s[nodeIdx][f] = S_pf
+
+	// CostAvg cache: hSum[pi] = Σ_{k in avail} h(p_i, k) for the avail set
+	// last seen, so the average over candidate nodes is O(#map-nodes) per
+	// partition instead of O(#avail × #map-nodes).
+	availCache []topology.NodeID
+	hSum       []float64
+}
+
+// NewReduceCoster snapshots the launched maps of j under the estimator.
+// Only maps that have been assigned to a node (x_jp defined) contribute,
+// matching Formula 2's use of the placement matrix X.
+func (c *CostModel) NewReduceCoster(j *job.Job, est Estimator) *ReduceCoster {
+	rc := &ReduceCoster{cm: c, j: j, est: est}
+	idx := make(map[topology.NodeID]int)
+	nf := j.NumReduces()
+	for _, m := range j.Maps {
+		if m.State == job.TaskPending || m.Node < 0 {
+			continue
+		}
+		pi, ok := idx[m.Node]
+		if !ok {
+			pi = len(rc.nodes)
+			idx[m.Node] = pi
+			rc.nodes = append(rc.nodes, m.Node)
+			rc.s = append(rc.s, make([]float64, nf))
+		}
+		row := rc.s[pi]
+		for f := 0; f < nf; f++ {
+			row[f] += est.EstimateOutput(m, f)
+		}
+	}
+	return rc
+}
+
+// Cost returns C_r(i,f) = Σ_p h_pi · S_pf (Formula 3) for reduce index f
+// placed on node i.
+func (rc *ReduceCoster) Cost(i topology.NodeID, f int) float64 {
+	var sum float64
+	for pi, p := range rc.nodes {
+		if s := rc.s[pi][f]; s > 0 {
+			sum += rc.cm.Distance(p, i) * s
+		}
+	}
+	return sum
+}
+
+// CostAvg returns C_avg = Σ_k C_r(k,f) / N_r over nodes with free reduce
+// slots (Algorithm 2 line 7). Summation is reordered as
+// Σ_p S_pf · (Σ_k h_pk), with the inner distance sums cached per avail
+// set; the result is identical to averaging Cost over avail.
+func (rc *ReduceCoster) CostAvg(f int, avail []topology.NodeID) float64 {
+	if len(avail) == 0 {
+		return 0
+	}
+	if !equalNodes(rc.availCache, avail) {
+		rc.availCache = append(rc.availCache[:0], avail...)
+		if cap(rc.hSum) < len(rc.nodes) {
+			rc.hSum = make([]float64, len(rc.nodes))
+		}
+		rc.hSum = rc.hSum[:len(rc.nodes)]
+		for pi, p := range rc.nodes {
+			var h float64
+			for _, k := range avail {
+				h += rc.cm.Distance(p, k)
+			}
+			rc.hSum[pi] = h
+		}
+	}
+	var sum float64
+	for pi := range rc.nodes {
+		if v := rc.s[pi][f]; v > 0 {
+			sum += v * rc.hSum[pi]
+		}
+	}
+	return sum / float64(len(avail))
+}
+
+// equalNodes reports whether two node lists are identical.
+func equalNodes(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnNode returns S_if: the estimated bytes of partition f already resident
+// on node i (produced by maps that ran there).
+func (rc *ReduceCoster) OnNode(i topology.NodeID, f int) float64 {
+	for pi, p := range rc.nodes {
+		if p == i {
+			return rc.s[pi][f]
+		}
+	}
+	return 0
+}
+
+// TotalEstimated returns Σ_p S_pf: the estimated total shuffle input of
+// reduce f from maps launched so far.
+func (rc *ReduceCoster) TotalEstimated(f int) float64 {
+	var sum float64
+	for pi := range rc.nodes {
+		sum += rc.s[pi][f]
+	}
+	return sum
+}
+
+// Centrality returns the node among candidates minimizing Cost(i, f) — the
+// data-"centrality" node used by the Coupling scheduler baseline. Returns
+// false if candidates is empty.
+func (rc *ReduceCoster) Centrality(f int, candidates []topology.NodeID) (topology.NodeID, bool) {
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	best := candidates[0]
+	bestC := rc.Cost(best, f)
+	for _, k := range candidates[1:] {
+		if c := rc.Cost(k, f); c < bestC {
+			bestC = c
+			best = k
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,66 @@
+package core
+
+import "mapsched/internal/job"
+
+// Estimator predicts the final intermediate volume I_jf a map task will
+// have produced for a reduce partition, from scheduler-visible progress
+// counters only (the heartbeat-reported A_jf and d_read of Section
+// II-B-2).
+type Estimator interface {
+	// EstimateOutput returns the predicted final I_jf for map m and reduce
+	// partition f. Implementations must return 0 when no information is
+	// available (e.g. the map has not read any input yet).
+	EstimateOutput(m *job.MapTask, f int) float64
+	// Name identifies the estimator in experiment output.
+	Name() string
+}
+
+// ProgressScaled is the paper's estimator: Î_jf = A_jf · B_j / d_read —
+// the current output scaled by the inverse of the input fraction consumed.
+// For a finished map A_jf equals I_jf and the estimate is exact.
+type ProgressScaled struct{}
+
+// Name implements Estimator.
+func (ProgressScaled) Name() string { return "progress-scaled" }
+
+// EstimateOutput implements Estimator.
+func (ProgressScaled) EstimateOutput(m *job.MapTask, f int) float64 {
+	if m.State == job.TaskDone {
+		return m.Out[f] // A_jf at completion is the true I_jf
+	}
+	d := m.DRead()
+	if d <= 0 {
+		return 0
+	}
+	return m.CurrentOut(f) * m.Size / d
+}
+
+// CurrentSize is the Coupling-scheduler baseline: use the in-progress
+// intermediate size A_jf as-is, with no scaling. The paper's Section
+// II-B-2 example shows how this mis-ranks placements when map progress is
+// uneven.
+type CurrentSize struct{}
+
+// Name implements Estimator.
+func (CurrentSize) Name() string { return "current-size" }
+
+// EstimateOutput implements Estimator.
+func (CurrentSize) EstimateOutput(m *job.MapTask, f int) float64 {
+	if m.State == job.TaskDone {
+		return m.Out[f]
+	}
+	if m.DRead() <= 0 {
+		return 0
+	}
+	return m.CurrentOut(f)
+}
+
+// Oracle returns the ground-truth I_jf. It is not realizable in a real
+// cluster and exists only as the upper bound for the estimator ablation.
+type Oracle struct{}
+
+// Name implements Estimator.
+func (Oracle) Name() string { return "oracle" }
+
+// EstimateOutput implements Estimator.
+func (Oracle) EstimateOutput(m *job.MapTask, f int) float64 { return m.Out[f] }

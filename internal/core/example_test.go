@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mapsched/internal/core"
+)
+
+// The probability of Formula 4 at a few cost ratios: data-local
+// placements are certain, average-cost placements land at 1-e^{-1}, and
+// expensive placements become unlikely.
+func ExampleAssignProb() {
+	fmt.Printf("local:     %.3f\n", core.AssignProb(100, 0))
+	fmt.Printf("average:   %.3f\n", core.AssignProb(100, 100))
+	fmt.Printf("expensive: %.3f\n", core.AssignProb(100, 400))
+	// Output:
+	// local:     1.000
+	// average:   0.632
+	// expensive: 0.221
+}
+
+// CostCeiling converts the P_min threshold back into the largest cost (as
+// a multiple of the average) the scheduler will accept — the bound the
+// paper derives in Section II-C.
+func ExampleCostCeiling() {
+	fmt.Printf("Pmin=0.4 accepts costs up to %.2f x average\n", core.CostCeiling(0.4))
+	// Output:
+	// Pmin=0.4 accepts costs up to 1.96 x average
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAssignProb checks that every (avg, cost) pair, however degenerate,
+// yields a probability in [0, 1] under every built-in model.
+func FuzzAssignProb(f *testing.F) {
+	f.Add(100.0, 50.0)
+	f.Add(0.0, 0.0)
+	f.Add(-5.0, 3.0)
+	f.Add(math.MaxFloat64, 1.0)
+	f.Add(math.Inf(1), 1.0) // regression: Rational once returned NaN here
+	f.Fuzz(func(t *testing.T, avg, cost float64) {
+		if math.IsNaN(avg) || math.IsNaN(cost) {
+			return
+		}
+		for _, m := range Models() {
+			p := m.Prob(avg, cost)
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("%s.Prob(%v, %v) = %v", m.Name(), avg, cost, p)
+			}
+		}
+	})
+}
+
+// FuzzCostCeiling checks the ceiling inverts the probability formula for
+// all thresholds in (0,1).
+func FuzzCostCeiling(f *testing.F) {
+	f.Add(0.4)
+	f.Add(0.999)
+	f.Fuzz(func(t *testing.T, pmin float64) {
+		if math.IsNaN(pmin) {
+			return
+		}
+		c := CostCeiling(pmin)
+		if pmin <= 0 || pmin >= 1 {
+			if !math.IsInf(c, 1) {
+				t.Fatalf("degenerate pmin %v has finite ceiling %v", pmin, c)
+			}
+			return
+		}
+		if c <= 0 {
+			t.Fatalf("ceiling(%v) = %v", pmin, c)
+		}
+		got := AssignProb(1, c)
+		if math.Abs(got-pmin) > 1e-6 {
+			t.Fatalf("AssignProb at ceiling(%v) = %v", pmin, got)
+		}
+	})
+}

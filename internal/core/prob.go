@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+
+	"mapsched/internal/job"
+	"mapsched/internal/topology"
+)
+
+// AssignProb computes the paper's placement probability (Formulas 4–5):
+//
+//	P = 1 − exp(−C_avg / C)
+//
+// where C is the cost of the candidate placement and C_avg the expected
+// cost of assigning the task uniformly over currently available nodes.
+// A zero-cost placement (data-local) has probability 1; an infinitely
+// expensive one probability 0. When both C_avg and C are zero — every
+// available node is equally free — the placement is also certain.
+func AssignProb(avg, cost float64) float64 {
+	if cost <= 0 {
+		return 1
+	}
+	if math.IsInf(cost, 1) {
+		return 0
+	}
+	if avg <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-avg/cost)
+}
+
+// CostCeiling returns the largest placement cost (as a multiple of C_avg)
+// that still clears the threshold pmin: from P ≥ P_min follows
+// C ≤ C_avg / (−ln(1−P_min)). Exposed for analysis and the P_min sweep
+// experiment. pmin outside (0,1) returns +Inf (no ceiling).
+func CostCeiling(pmin float64) float64 {
+	if pmin <= 0 || pmin >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (-math.Log(1 - pmin))
+}
+
+// Choice is the outcome of the candidate-selection step of Algorithms 1–2.
+type Choice struct {
+	MapTask    *job.MapTask    // set for map selection
+	ReduceTask *job.ReduceTask // set for reduce selection
+	Prob       float64         // P_mj or P_rf
+	Cost       float64         // C on the offered node
+	AvgCost    float64         // C_avg over available nodes
+}
+
+// Saving is the absolute transmission-cost saving of placing the task here
+// rather than uniformly at random: C_avg − C. Section II-C selects "the
+// map task that leads to the maximum transmission cost saving by assigning
+// it instantly to D_i than assigning it to other nodes"; unlike the
+// probability (whose C_avg/C ratio is scale-invariant in the data volume),
+// the saving weights large tasks more, so heavy partitions launch early
+// instead of straggling at the tail.
+func (c Choice) Saving() float64 { return c.AvgCost - c.Cost }
+
+// SelectMapTask runs lines 2–9 of Algorithm 1: for every candidate map
+// task it computes the placement cost on node i (Formula 1), the average
+// cost over nodes with free map slots, and the probability (Formula 4),
+// returning the candidate with the largest transmission-cost saving
+// (Section II-C's selection criterion; data-local candidates always rank
+// first since their saving equals the full average cost). ok is false
+// when tasks is empty or no candidate is schedulable.
+func SelectMapTask(cm *CostModel, tasks []*job.MapTask, i topology.NodeID, avail []topology.NodeID) (best Choice, ok bool) {
+	for _, m := range tasks {
+		cost := cm.MapCost(m, i)
+		if math.IsInf(cost, 1) {
+			continue
+		}
+		avg := cm.MapCostAvg(m, avail)
+		c := Choice{MapTask: m, Prob: AssignProb(avg, cost), Cost: cost, AvgCost: avg}
+		if !ok || c.Saving() > best.Saving() {
+			best = c
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// SelectReduceTask runs lines 2–10 of Algorithm 2: for every candidate
+// reduce task it computes the shuffle cost on node i (Formula 3 with the
+// estimator's Î_jf), the average over nodes with free reduce slots, and
+// the probability (Formula 5), returning the candidate with the largest
+// transmission-cost saving. ok is false when tasks is empty.
+func SelectReduceTask(rc *ReduceCoster, tasks []*job.ReduceTask, i topology.NodeID, avail []topology.NodeID) (best Choice, ok bool) {
+	for _, r := range tasks {
+		cost := rc.Cost(i, r.Index)
+		avg := rc.CostAvg(r.Index, avail)
+		c := Choice{ReduceTask: r, Prob: AssignProb(avg, cost), Cost: cost, AvgCost: avg}
+		if !ok || c.Saving() > best.Saving() {
+			best = c
+			ok = true
+		}
+	}
+	return best, ok
+}

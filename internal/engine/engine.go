@@ -1,0 +1,994 @@
+// Package engine is the simulation driver: it wires the topology, block
+// store, slot model and a task-level scheduler into a JobTracker that
+// reacts to TaskTracker heartbeats, executes map/shuffle/reduce phases
+// over the flow-level network, and collects the metrics the paper's
+// evaluation reports. It also models two Hadoop mechanisms the paper's
+// testbed had enabled: speculative execution of straggling map tasks and
+// recovery from TaskTracker (node) failures, including re-execution of
+// completed maps whose intermediate output was lost.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"mapsched/internal/cluster"
+	"mapsched/internal/core"
+	"mapsched/internal/hdfs"
+	"mapsched/internal/job"
+	"mapsched/internal/metrics"
+	"mapsched/internal/sched"
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+)
+
+// NodeFailure schedules the permanent failure of a node at a simulated
+// time: its tasks are killed, its stored map outputs become unavailable,
+// and it stops heartbeating.
+type NodeFailure struct {
+	Node int
+	At   float64
+}
+
+// Config describes one simulated cluster run.
+type Config struct {
+	// Topology is the physical cluster shape. The default mirrors the
+	// paper's testbed: 60 nodes in one rack.
+	Topology topology.Spec
+	// MapSlotsPerNode and ReduceSlotsPerNode follow the paper's setup
+	// ("4 map slots and 2 reduce slots per node").
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// HeartbeatInterval is the TaskTracker heartbeat period in seconds
+	// (Hadoop 1.x default: 3 s).
+	HeartbeatInterval float64
+	// Slowstart is the map-progress fraction gating reduce launches.
+	Slowstart float64
+	// ShuffleParallelism bounds concurrent fetch flows per reduce task
+	// (Hadoop's parallel copiers).
+	ShuffleParallelism int
+	// TaskOverhead is fixed per-task startup cost in seconds (JVM spawn,
+	// task setup).
+	TaskOverhead float64
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// CostMode selects hop-count or network-condition distances for the
+	// cost model handed to the scheduler.
+	CostMode core.Mode
+	// CrossTraffic injects this many persistent background flows between
+	// random node pairs, exercising the network-condition experiments.
+	CrossTraffic int
+	// MaxSimTime aborts the run at this simulated horizon (seconds); jobs
+	// still unfinished are reported in Result.Unfinished. Zero means the
+	// default of 24 simulated hours.
+	MaxSimTime float64
+
+	// Speculation enables backup execution of straggling map tasks: when
+	// a map's attempt has been running longer than SpecSlowdown times the
+	// job's mean completed-map duration (with at least SpecMinCompleted
+	// completed maps for the estimate) and a slot has no other work, a
+	// second attempt launches there; the first to finish wins.
+	Speculation      bool
+	SpecSlowdown     float64 // default 1.8
+	SpecMinCompleted int     // default 3
+
+	// Failures permanently kills nodes at the given times.
+	Failures []NodeFailure
+
+	// SlowNodeFraction marks this share of nodes (chosen deterministically
+	// from the seed) as stragglers whose compute rates are divided by
+	// SlowFactor — the hardware heterogeneity that motivates speculative
+	// execution. Zero disables heterogeneity.
+	SlowNodeFraction float64
+	SlowFactor       float64 // default 2.5 when heterogeneity is on
+
+	// ResourceMode replaces the Hadoop 1.x fixed slots with a YARN-style
+	// container model (the paper's Section V future work): every node has
+	// a resource capacity and each map/reduce task requests a container,
+	// so the map/reduce split of a node's capacity is no longer static.
+	ResourceMode    bool
+	NodeResources   cluster.Resources // default 16384 MB / 16 vcores
+	MapContainer    cluster.Resources // default 2048 MB / 2 vcores
+	ReduceContainer cluster.Resources // default 4096 MB / 4 vcores
+}
+
+// DefaultConfig returns the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		Topology:           topology.DefaultSpec(),
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 2,
+		HeartbeatInterval:  3,
+		Slowstart:          0.05,
+		ShuffleParallelism: 3,
+		TaskOverhead:       1,
+		Seed:               1,
+		CostMode:           core.ModeHops,
+		MaxSimTime:         86400,
+		SpecSlowdown:       1.8,
+		SpecMinCompleted:   3,
+		NodeResources:      cluster.Resources{MemMB: 16384, VCores: 16},
+		MapContainer:       cluster.Resources{MemMB: 2048, VCores: 2},
+		ReduceContainer:    cluster.Resources{MemMB: 4096, VCores: 4},
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MapSlotsPerNode < 1 || c.ReduceSlotsPerNode < 1 {
+		return fmt.Errorf("engine: slots per node must be >= 1")
+	}
+	if c.HeartbeatInterval <= 0 {
+		return fmt.Errorf("engine: heartbeat interval must be positive")
+	}
+	if c.Slowstart < 0 || c.Slowstart > 1 {
+		return fmt.Errorf("engine: slowstart %v outside [0,1]", c.Slowstart)
+	}
+	if c.ShuffleParallelism < 1 {
+		return fmt.Errorf("engine: shuffle parallelism must be >= 1")
+	}
+	if c.TaskOverhead < 0 {
+		return fmt.Errorf("engine: negative task overhead")
+	}
+	if c.CrossTraffic < 0 {
+		return fmt.Errorf("engine: negative cross traffic")
+	}
+	if c.MaxSimTime < 0 {
+		return fmt.Errorf("engine: negative horizon")
+	}
+	if c.SlowNodeFraction < 0 || c.SlowNodeFraction > 1 {
+		return fmt.Errorf("engine: SlowNodeFraction %v outside [0,1]", c.SlowNodeFraction)
+	}
+	if c.SlowNodeFraction > 0 && c.SlowFactor != 0 && c.SlowFactor <= 1 {
+		return fmt.Errorf("engine: SlowFactor %v must exceed 1", c.SlowFactor)
+	}
+	if c.Speculation {
+		if c.SpecSlowdown <= 1 {
+			return fmt.Errorf("engine: SpecSlowdown %v must exceed 1", c.SpecSlowdown)
+		}
+		if c.SpecMinCompleted < 1 {
+			return fmt.Errorf("engine: SpecMinCompleted %d must be >= 1", c.SpecMinCompleted)
+		}
+	}
+	n := c.Topology.Racks * c.Topology.NodesPerRack
+	for _, f := range c.Failures {
+		if f.Node < 0 || f.Node >= n {
+			return fmt.Errorf("engine: failure of node %d outside cluster of %d", f.Node, n)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("engine: failure at negative time")
+		}
+	}
+	return nil
+}
+
+// mapAttempt is one execution attempt of a map task (there can be two
+// when speculation fires).
+type mapAttempt struct {
+	node         topology.NodeID
+	locality     job.Locality
+	launch       sim.Time
+	fetch        *topology.Flow
+	fetchDone    bool
+	computeStart sim.Time
+	computeDur   float64
+	computeEv    *sim.Event
+	computeDone  bool
+	dead         bool
+}
+
+// progress returns the attempt's compute progress in [0, 1).
+func (a *mapAttempt) progress(now sim.Time) float64 {
+	if a.dead || a.computeDur <= 0 {
+		return 0
+	}
+	p := float64(now-a.computeStart) / a.computeDur
+	if p < 0 {
+		p = 0
+	}
+	if p > 0.999999 {
+		p = 0.999999
+	}
+	return p
+}
+
+// mapRun is the engine-side execution state of a running map task.
+type mapRun struct {
+	attempts []*mapAttempt
+}
+
+// liveAttempts counts attempts that have not been killed.
+func (r *mapRun) liveAttempts() int {
+	n := 0
+	for _, a := range r.attempts {
+		if !a.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// srcBucket aggregates queued shuffle bytes by source node, remembering
+// which maps contributed (for failure recovery).
+type srcBucket struct {
+	bytes float64
+	maps  []*job.MapTask
+}
+
+// flight is an in-progress shuffle fetch.
+type flight struct {
+	src   topology.NodeID
+	bytes float64
+	maps  []*job.MapTask
+	flow  *topology.Flow
+}
+
+// reduceRun is the engine-side execution state of a running reduce task.
+type reduceRun struct {
+	pendingSrc map[topology.NodeID]*srcBucket
+	queue      []topology.NodeID // FIFO of sources with pending bytes
+	flights    map[*topology.Flow]*flight
+	got        map[*job.MapTask]bool // output enqueued, fetched or in flight
+	computing  bool
+	computeEv  *sim.Event
+}
+
+// jobStats accumulates completed-map durations for speculation.
+type jobStats struct {
+	completed int
+	totalDur  float64
+}
+
+// Simulation is one configured run.
+type Simulation struct {
+	cfg   Config
+	eng   *sim.Engine
+	topo  *topology.Cluster
+	store *hdfs.Store
+	state *cluster.State
+	cost  *core.CostModel
+	sch   sched.Scheduler
+
+	rngEngine *sim.RNG
+	rngJobs   *sim.RNG
+
+	specs  []job.Spec
+	jobs   []*job.Job
+	active []*job.Job
+
+	runningMaps map[*job.MapTask]*mapRun
+	runningReds map[*job.ReduceTask]*reduceRun
+	stats       map[job.ID]*jobStats
+	dead        map[topology.NodeID]bool
+	speedOf     []float64 // per-node compute-speed multiplier (1 = nominal)
+
+	utilMap    metrics.TimeAvg
+	utilReduce metrics.TimeAvg
+
+	mapTimes    []float64
+	reduceTimes []float64
+	ran         bool
+
+	mapRemoteBytes     float64 // map input fetched across the network
+	shuffleRemoteBytes float64 // intermediate data moved across the network
+	shuffleLocalBytes  float64 // intermediate data served from local disk
+
+	speculated        int // backup attempts launched
+	specWins          int // backups that finished first
+	relaunchedMaps    int // done maps re-executed after node failure
+	relaunchedReduces int // running reduces restarted after node failure
+}
+
+// New builds a simulation over the given job specs and scheduler builder.
+func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("engine: no job specs")
+	}
+	if builder == nil {
+		return nil, fmt.Errorf("engine: nil scheduler builder")
+	}
+	if cfg.MaxSimTime == 0 {
+		cfg.MaxSimTime = 86400
+	}
+	eng := sim.NewEngine()
+	eng.SetEventLimit(200_000_000)
+	topo, err := topology.NewCluster(eng, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	root := sim.NewRNG(cfg.Seed)
+	store := hdfs.NewStore(topo, root.Fork("hdfs"))
+	state, err := cluster.New(topo.Size(), cfg.MapSlotsPerNode, cfg.ReduceSlotsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ResourceMode {
+		if err := state.EnableResources(cfg.NodeResources, cfg.MapContainer, cfg.ReduceContainer); err != nil {
+			return nil, err
+		}
+	}
+	cost, err := core.NewCostModel(topo, store, topo, cfg.CostMode)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:         cfg,
+		eng:         eng,
+		topo:        topo,
+		store:       store,
+		state:       state,
+		cost:        cost,
+		rngEngine:   root.Fork("engine"),
+		rngJobs:     root.Fork("jobs"),
+		specs:       specs,
+		runningMaps: make(map[*job.MapTask]*mapRun),
+		runningReds: make(map[*job.ReduceTask]*reduceRun),
+		stats:       make(map[job.ID]*jobStats),
+		dead:        make(map[topology.NodeID]bool),
+	}
+	s.sch = builder(sched.Env{Net: topo, Cost: cost, RNG: root.Fork("sched")})
+	if s.sch == nil {
+		return nil, fmt.Errorf("engine: builder returned nil scheduler")
+	}
+	// Heterogeneous node speeds: a deterministic subset of nodes computes
+	// slower by SlowFactor.
+	s.speedOf = make([]float64, topo.Size())
+	for i := range s.speedOf {
+		s.speedOf[i] = 1
+	}
+	if cfg.SlowNodeFraction > 0 {
+		factor := cfg.SlowFactor
+		if factor == 0 {
+			factor = 2.5
+		}
+		hetRNG := root.Fork("heterogeneity")
+		slow := int(cfg.SlowNodeFraction*float64(topo.Size()) + 0.5)
+		for _, idx := range hetRNG.Perm(topo.Size())[:slow] {
+			s.speedOf[idx] = 1 / factor
+		}
+	}
+	return s, nil
+}
+
+// Cost exposes the cost model (for tests).
+func (s *Simulation) Cost() *core.CostModel { return s.cost }
+
+// Jobs exposes the instantiated jobs after Run, for invariant checks.
+func (s *Simulation) Jobs() []*job.Job { return s.jobs }
+
+// Run executes the simulation to completion (or the horizon) and returns
+// the collected metrics. Run may be called once.
+func (s *Simulation) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("engine: Run called twice")
+	}
+	s.ran = true
+
+	// Background cross-traffic between distinct random pairs.
+	for i := 0; i < s.cfg.CrossTraffic; i++ {
+		src := topology.NodeID(s.rngEngine.Intn(s.topo.Size()))
+		dst := topology.NodeID(s.rngEngine.Intn(s.topo.Size()))
+		if src == dst {
+			dst = topology.NodeID((int(dst) + 1) % s.topo.Size())
+		}
+		s.topo.InjectCrossTraffic(src, dst)
+	}
+
+	// Job submissions.
+	for i := range s.specs {
+		spec := s.specs[i]
+		id := job.ID(i + 1)
+		s.eng.Schedule(spec.Submit, func() { s.submit(id, spec) })
+	}
+
+	// Scheduled node failures.
+	for _, f := range s.cfg.Failures {
+		n := topology.NodeID(f.Node)
+		s.eng.Schedule(sim.Time(f.At), func() { s.failNode(n) })
+	}
+
+	// Heartbeat chains, phase-offset per node so offers do not synchronize.
+	interval := s.cfg.HeartbeatInterval
+	for i := 0; i < s.topo.Size(); i++ {
+		n := topology.NodeID(i)
+		offset := interval * float64(i) / float64(s.topo.Size())
+		s.eng.Schedule(sim.Time(offset), func() { s.heartbeat(n) })
+	}
+
+	s.utilMap.Update(0, 0)
+	s.utilReduce.Update(0, 0)
+
+	if _, err := s.eng.Run(sim.Time(s.cfg.MaxSimTime)); err != nil {
+		return nil, err
+	}
+	return s.collect(), nil
+}
+
+// submit instantiates a job (placing its input blocks) and activates it.
+func (s *Simulation) submit(id job.ID, spec job.Spec) {
+	j, err := job.New(id, spec, s.store, s.rngJobs)
+	if err != nil {
+		// Specs are validated by the builders; a failure here is a
+		// programming error worth stopping the simulation for.
+		panic(fmt.Sprintf("engine: submit %s: %v", spec.Name, err))
+	}
+	j.Submitted = s.eng.Now()
+	s.jobs = append(s.jobs, j)
+	s.active = append(s.active, j)
+	s.stats[j.ID] = &jobStats{}
+}
+
+// allDone reports whether every submitted job finished and no submissions
+// remain.
+func (s *Simulation) allDone() bool {
+	return len(s.active) == 0 && len(s.jobs) == len(s.specs)
+}
+
+// heartbeat is one TaskTracker report: refresh progress, offer free slots
+// to the scheduler, and reschedule.
+func (s *Simulation) heartbeat(n topology.NodeID) {
+	if s.allDone() || s.dead[n] {
+		return // stop the chain
+	}
+	s.refreshProgress()
+	node := s.state.Node(n)
+	for node.FreeMapSlots() > 0 {
+		ctx := s.buildCtx()
+		m := s.sch.AssignMap(ctx, n)
+		if m == nil {
+			break
+		}
+		if !s.launchMap(m, n) {
+			break // unschedulable right now (e.g. all replicas dead)
+		}
+	}
+	// Speculative execution fills slots that have no pending work left.
+	if s.cfg.Speculation {
+		for node.FreeMapSlots() > 0 {
+			if !s.trySpeculate(n) {
+				break
+			}
+		}
+	}
+	for node.FreeReduceSlots() > 0 {
+		ctx := s.buildCtx()
+		r := s.sch.AssignReduce(ctx, n)
+		if r == nil {
+			break
+		}
+		s.launchReduce(r, n)
+	}
+	s.eng.After(s.cfg.HeartbeatInterval, func() { s.heartbeat(n) })
+}
+
+// buildCtx snapshots the scheduler-visible cluster state.
+func (s *Simulation) buildCtx() *sched.Context {
+	return &sched.Context{
+		Now:              s.eng.Now(),
+		Jobs:             s.active,
+		AvailMapNodes:    s.state.AvailMapNodes(),
+		AvailReduceNodes: s.state.AvailReduceNodes(),
+		Slowstart:        s.cfg.Slowstart,
+	}
+}
+
+// refreshProgress updates the Progress field of every running map task to
+// the current instant, so the scheduler's estimator sees fresh d_read and
+// A_jf values, exactly as heartbeat-reported counters would provide.
+// With speculation a task's progress is that of its fastest attempt.
+func (s *Simulation) refreshProgress() {
+	now := s.eng.Now()
+	for m, run := range s.runningMaps {
+		best := 0.0
+		for _, a := range run.attempts {
+			if p := a.progress(now); p > best {
+				best = p
+			}
+		}
+		m.Progress = best
+	}
+}
+
+// aliveNearest returns the closest live replica of the block, or ok=false
+// when every replica's node has failed.
+func (s *Simulation) aliveNearest(b hdfs.BlockID, from topology.NodeID) (topology.NodeID, bool) {
+	best := topology.NodeID(-1)
+	bestD := 0.0
+	found := false
+	for _, r := range s.store.Replicas(b) {
+		if s.dead[r] {
+			continue
+		}
+		d := s.topo.Distance(from, r)
+		if !found || d < bestD {
+			found = true
+			bestD = d
+			best = r
+		}
+	}
+	return best, found
+}
+
+// launchMap starts map task m on node n. It reports false when the task
+// cannot run (all replicas lost), leaving the task pending.
+func (s *Simulation) launchMap(m *job.MapTask, n topology.NodeID) bool {
+	if m.State != job.TaskPending {
+		panic(fmt.Sprintf("engine: launching map %s/%d in state %v", m.Job.Spec.Name, m.Index, m.State))
+	}
+	if _, ok := s.aliveNearest(m.Block, n); !ok {
+		return false
+	}
+	if err := s.state.Node(n).AcquireMap(); err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
+	s.sampleUtil()
+	m.State = job.TaskRunning
+	m.Node = n
+	m.Locality = s.cost.Locality(m, n)
+	m.Launch = s.eng.Now()
+	run := &mapRun{}
+	s.runningMaps[m] = run
+	s.startAttempt(m, run, n)
+	return true
+}
+
+// startAttempt begins one execution attempt of m on node n: an input
+// stream from the nearest live replica overlapped with the compute work.
+func (s *Simulation) startAttempt(m *job.MapTask, run *mapRun, n topology.NodeID) {
+	prof := m.Job.Spec.Profile
+	att := &mapAttempt{
+		node:     n,
+		locality: s.cost.Locality(m, n),
+		launch:   s.eng.Now(),
+	}
+	run.attempts = append(run.attempts, att)
+
+	src, _ := s.aliveNearest(m.Block, n) // caller checked ok
+	if src != n {
+		s.mapRemoteBytes += m.Size
+	}
+	att.fetch = s.topo.Transfer(src, n, m.Size, func() {
+		if att.dead {
+			return
+		}
+		att.fetchDone = true
+		s.checkAttempt(m, run, att)
+	})
+	att.computeStart = s.eng.Now()
+	att.computeDur = s.cfg.TaskOverhead +
+		s.rngEngine.Jitter(m.Size/(prof.MapRate*s.speedOf[n]), prof.ComputeJitter)
+	att.computeEv = s.eng.After(att.computeDur, func() {
+		if att.dead {
+			return
+		}
+		att.computeDone = true
+		s.checkAttempt(m, run, att)
+	})
+}
+
+// checkAttempt completes the map when an attempt has both streamed its
+// input and finished computing.
+func (s *Simulation) checkAttempt(m *job.MapTask, run *mapRun, att *mapAttempt) {
+	if att.fetchDone && att.computeDone && m.State == job.TaskRunning {
+		s.winMap(m, run, att)
+	}
+}
+
+// killAttempt cancels an attempt and releases its slot (when its node is
+// still alive; dead nodes release bookkeeping in failNode).
+func (s *Simulation) killAttempt(att *mapAttempt, releaseSlot bool) {
+	if att.dead {
+		return
+	}
+	att.dead = true
+	if att.fetch != nil && !att.fetch.Finished() {
+		s.topo.Net().Cancel(att.fetch)
+	}
+	if att.computeEv != nil {
+		att.computeEv.Cancel()
+		s.eng.Remove(att.computeEv)
+		att.computeEv = nil
+	}
+	if releaseSlot {
+		s.state.Node(att.node).ReleaseMap()
+	}
+}
+
+// winMap completes a map task via the winning attempt: kills any backup,
+// feeds the output to the running reduces and updates job state.
+func (s *Simulation) winMap(m *job.MapTask, run *mapRun, winner *mapAttempt) {
+	for _, a := range run.attempts {
+		if a != winner {
+			s.killAttempt(a, !s.dead[a.node])
+			s.sampleUtil()
+		}
+	}
+	if winner != run.attempts[0] {
+		s.specWins++
+	}
+	winner.dead = true // no further callbacks
+	m.State = job.TaskDone
+	m.Progress = 1
+	m.Finish = s.eng.Now()
+	m.Node = winner.node
+	m.Locality = winner.locality
+	delete(s.runningMaps, m)
+	s.state.Node(winner.node).ReleaseMap()
+	s.sampleUtil()
+	s.mapTimes = append(s.mapTimes, float64(m.Finish-winner.launch))
+
+	j := m.Job
+	j.DoneMaps++
+	if st := s.stats[j.ID]; st != nil {
+		st.completed++
+		st.totalDur += float64(m.Finish - winner.launch)
+	}
+	// Feed this map's partitions to every running reduce of the job.
+	for _, r := range j.Reduces {
+		if r.State != job.TaskRunning {
+			continue
+		}
+		rrun := s.runningReds[r]
+		if rrun == nil || rrun.computing {
+			continue
+		}
+		if bytes := m.Out[r.Index]; bytes > 0 && !rrun.got[m] {
+			s.enqueueFetch(rrun, m.Node, bytes, m)
+		}
+		s.pumpShuffle(r, rrun)
+		s.maybeStartReduceCompute(r, rrun)
+	}
+}
+
+// trySpeculate launches a backup attempt of the worst straggling map on
+// node n; it reports whether one launched.
+func (s *Simulation) trySpeculate(n topology.NodeID) bool {
+	now := s.eng.Now()
+	var worst *job.MapTask
+	var worstRun *mapRun
+	worstScore := s.cfg.SpecSlowdown
+	for m, run := range s.runningMaps {
+		if len(run.attempts) != 1 || run.attempts[0].dead {
+			continue // already backed up
+		}
+		if run.attempts[0].node == n {
+			continue // a backup on the same node cannot help
+		}
+		st := s.stats[m.Job.ID]
+		if st == nil || st.completed < s.cfg.SpecMinCompleted {
+			continue
+		}
+		avg := st.totalDur / float64(st.completed)
+		if avg <= 0 {
+			continue
+		}
+		score := float64(now-run.attempts[0].launch) / avg
+		// Strict ordering with a deterministic tie-break (job, index) so
+		// map-iteration order cannot influence the simulation.
+		if score > worstScore ||
+			(score == worstScore && worst != nil &&
+				(m.Job.ID < worst.Job.ID || (m.Job.ID == worst.Job.ID && m.Index < worst.Index))) {
+			worstScore = score
+			worst = m
+			worstRun = run
+		}
+	}
+	if worst == nil {
+		return false
+	}
+	if _, ok := s.aliveNearest(worst.Block, n); !ok {
+		return false
+	}
+	if err := s.state.Node(n).AcquireMap(); err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
+	s.sampleUtil()
+	s.speculated++
+	s.startAttempt(worst, worstRun, n)
+	return true
+}
+
+// launchReduce starts reduce task r on node n and queues fetches for all
+// already-finished maps.
+func (s *Simulation) launchReduce(r *job.ReduceTask, n topology.NodeID) {
+	if r.State != job.TaskPending {
+		panic(fmt.Sprintf("engine: launching reduce %s/%d in state %v", r.Job.Spec.Name, r.Index, r.State))
+	}
+	if err := s.state.Node(n).AcquireReduce(); err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
+	s.sampleUtil()
+	r.State = job.TaskRunning
+	r.Node = n
+	r.Launch = s.eng.Now()
+	r.Locality = s.reduceLocality(r.Job, n)
+	run := &reduceRun{
+		pendingSrc: make(map[topology.NodeID]*srcBucket),
+		flights:    make(map[*topology.Flow]*flight),
+		got:        make(map[*job.MapTask]bool),
+	}
+	s.runningReds[r] = run
+	for _, m := range r.Job.Maps {
+		if m.State == job.TaskDone {
+			if bytes := m.Out[r.Index]; bytes > 0 {
+				s.enqueueFetch(run, m.Node, bytes, m)
+			}
+		}
+	}
+	s.pumpShuffle(r, run)
+	s.maybeStartReduceCompute(r, run)
+}
+
+// reduceLocality classifies a reduce placement: local node if the node
+// already hosted a launched map of the job (it holds intermediate data),
+// local rack if a launched map ran in the same rack, remote otherwise.
+func (s *Simulation) reduceLocality(j *job.Job, n topology.NodeID) job.Locality {
+	sameRack := false
+	anyMap := false
+	for _, m := range j.Maps {
+		if m.State == job.TaskPending || m.Node < 0 {
+			continue
+		}
+		anyMap = true
+		if m.Node == n {
+			return job.LocalNode
+		}
+		if s.topo.Rack(m.Node) == s.topo.Rack(n) {
+			sameRack = true
+		}
+	}
+	if sameRack {
+		return job.LocalRack
+	}
+	if !anyMap {
+		// No map launched yet: there is no data anywhere, so the placement
+		// cannot be penalized; count it as local rack in a single-rack
+		// cluster and remote otherwise only if multiple racks exist.
+		if s.cfg.Topology.Racks == 1 {
+			return job.LocalRack
+		}
+	}
+	return job.Remote
+}
+
+// enqueueFetch adds a map's bytes from src to the reduce's shuffle queue,
+// coalescing with bytes already queued from the same source.
+func (s *Simulation) enqueueFetch(run *reduceRun, src topology.NodeID, bytes float64, m *job.MapTask) {
+	b, ok := run.pendingSrc[src]
+	if !ok {
+		b = &srcBucket{}
+		run.pendingSrc[src] = b
+		run.queue = append(run.queue, src)
+	}
+	b.bytes += bytes
+	b.maps = append(b.maps, m)
+	run.got[m] = true
+}
+
+// pumpShuffle starts fetch flows up to the parallelism bound.
+func (s *Simulation) pumpShuffle(r *job.ReduceTask, run *reduceRun) {
+	for len(run.flights) < s.cfg.ShuffleParallelism && len(run.queue) > 0 {
+		src := run.queue[0]
+		run.queue = run.queue[1:]
+		b, ok := run.pendingSrc[src]
+		if !ok {
+			continue // bucket was dropped by failure recovery
+		}
+		delete(run.pendingSrc, src)
+		fl := &flight{src: src, bytes: b.bytes, maps: b.maps}
+		if src == r.Node {
+			s.shuffleLocalBytes += b.bytes
+		} else {
+			s.shuffleRemoteBytes += b.bytes
+		}
+		fl.flow = s.topo.Transfer(src, r.Node, b.bytes, func() {
+			delete(run.flights, fl.flow)
+			r.ShuffledBytes += fl.bytes
+			s.pumpShuffle(r, run)
+			s.maybeStartReduceCompute(r, run)
+		})
+		run.flights[fl.flow] = fl
+	}
+}
+
+// maybeStartReduceCompute begins the sort/reduce phase once every map of
+// the job finished and all fetches drained.
+func (s *Simulation) maybeStartReduceCompute(r *job.ReduceTask, run *reduceRun) {
+	if run.computing || !r.Job.MapsDone() || len(run.flights) > 0 || len(run.queue) > 0 || len(run.pendingSrc) > 0 {
+		return
+	}
+	run.computing = true
+	prof := r.Job.Spec.Profile
+	dur := s.cfg.TaskOverhead +
+		s.rngEngine.Jitter(r.ShuffledBytes/(prof.ReduceRate*s.speedOf[r.Node]), prof.ComputeJitter)
+	run.computeEv = s.eng.After(dur, func() { s.finishReduce(r) })
+}
+
+// finishReduce completes a reduce task and possibly its job.
+func (s *Simulation) finishReduce(r *job.ReduceTask) {
+	r.State = job.TaskDone
+	r.Finish = s.eng.Now()
+	delete(s.runningReds, r)
+	s.state.Node(r.Node).ReleaseReduce()
+	s.sampleUtil()
+	s.reduceTimes = append(s.reduceTimes, r.RunTime())
+
+	j := r.Job
+	j.DoneReds++
+	if j.Done() {
+		j.Finished = s.eng.Now()
+		for i, a := range s.active {
+			if a == j {
+				s.active = append(s.active[:i], s.active[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// failNode kills a node permanently: running attempts and reduces on it
+// die, completed map outputs stored there are re-executed when still
+// needed, and the node stops offering slots and heartbeating.
+func (s *Simulation) failNode(d topology.NodeID) {
+	if s.dead[d] {
+		return
+	}
+	// Deterministic iteration over the running-task maps: sort by
+	// (job, index) so flow cancellations happen in a reproducible order.
+	reds := make([]*job.ReduceTask, 0, len(s.runningReds))
+	for r := range s.runningReds {
+		reds = append(reds, r)
+	}
+	sort.Slice(reds, func(a, b int) bool {
+		if reds[a].Job.ID != reds[b].Job.ID {
+			return reds[a].Job.ID < reds[b].Job.ID
+		}
+		return reds[a].Index < reds[b].Index
+	})
+	maps := make([]*job.MapTask, 0, len(s.runningMaps))
+	for m := range s.runningMaps {
+		maps = append(maps, m)
+	}
+	sort.Slice(maps, func(a, b int) bool {
+		if maps[a].Job.ID != maps[b].Job.ID {
+			return maps[a].Job.ID < maps[b].Job.ID
+		}
+		return maps[a].Index < maps[b].Index
+	})
+
+	// 1. Drop shuffle state sourced from the dead node in every running
+	// reduce: queued buckets and in-flight fetches from d are lost, and
+	// the contributing maps are no longer "got".
+	for _, r := range reds {
+		run := s.runningReds[r]
+		if b, ok := run.pendingSrc[d]; ok {
+			delete(run.pendingSrc, d)
+			for _, m := range b.maps {
+				delete(run.got, m)
+			}
+		}
+		var doomed []*topology.Flow
+		for flow, fl := range run.flights {
+			if fl.src == d {
+				doomed = append(doomed, flow)
+			}
+		}
+		sort.Slice(doomed, func(a, b int) bool {
+			return run.flights[doomed[a]].bytes < run.flights[doomed[b]].bytes
+		})
+		for _, flow := range doomed {
+			fl := run.flights[flow]
+			s.topo.Net().Cancel(flow)
+			delete(run.flights, flow)
+			for _, m := range fl.maps {
+				delete(run.got, m)
+			}
+		}
+	}
+
+	// 2. Kill map attempts running on d; revert tasks left with no live
+	// attempt.
+	for _, m := range maps {
+		run := s.runningMaps[m]
+		changed := false
+		for _, a := range run.attempts {
+			if a.node == d && !a.dead {
+				s.killAttempt(a, true) // slot released before going offline
+				changed = true
+			}
+		}
+		if changed && run.liveAttempts() == 0 {
+			delete(s.runningMaps, m)
+			m.State = job.TaskPending
+			m.Progress = 0
+			m.Node = -1
+		}
+	}
+
+	// 3. Kill reduces hosted on d: their partially-fetched data is lost.
+	for _, r := range reds {
+		if r.Node != d || r.State != job.TaskRunning {
+			continue
+		}
+		run := s.runningReds[r]
+		var flows []*topology.Flow
+		for flow := range run.flights {
+			flows = append(flows, flow)
+		}
+		sort.Slice(flows, func(a, b int) bool {
+			return run.flights[flows[a]].bytes < run.flights[flows[b]].bytes
+		})
+		for _, flow := range flows {
+			s.topo.Net().Cancel(flow)
+		}
+		if run.computeEv != nil {
+			run.computeEv.Cancel()
+			s.eng.Remove(run.computeEv)
+		}
+		delete(s.runningReds, r)
+		s.state.Node(d).ReleaseReduce()
+		r.State = job.TaskPending
+		r.Node = -1
+		r.ShuffledBytes = 0
+		r.Locality = job.LocalityUnknown
+		s.relaunchedReduces++
+	}
+
+	// 4. Re-execute completed maps whose output lived on d and is still
+	// needed by an unfinished reduce.
+	for _, j := range s.active {
+		for _, m := range j.Maps {
+			if m.State != job.TaskDone || m.Node != d {
+				continue
+			}
+			if !s.outputStillNeeded(j, m) {
+				continue
+			}
+			m.State = job.TaskPending
+			m.Progress = 0
+			m.Node = -1
+			j.DoneMaps--
+			s.relaunchedMaps++
+		}
+	}
+
+	// 5. Take the node offline.
+	s.dead[d] = true
+	s.state.Node(d).SetOffline(true)
+	s.sampleUtil()
+}
+
+// outputStillNeeded reports whether any unfinished reduce of j still needs
+// map m's output (i.e. produces bytes for it and has not already fetched
+// them).
+func (s *Simulation) outputStillNeeded(j *job.Job, m *job.MapTask) bool {
+	for _, r := range j.Reduces {
+		if m.Out[r.Index] <= 0 {
+			continue
+		}
+		switch r.State {
+		case job.TaskDone:
+			continue
+		case job.TaskPending:
+			return true
+		case job.TaskRunning:
+			run := s.runningReds[r]
+			if run == nil || !run.got[m] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sampleUtil records slot occupancy for the utilization time-averages.
+func (s *Simulation) sampleUtil() {
+	um, ur := s.state.UsedSlots()
+	tm, tr := s.state.TotalSlots()
+	now := float64(s.eng.Now())
+	s.utilMap.Update(now, float64(um)/float64(tm))
+	s.utilReduce.Update(now, float64(ur)/float64(tr))
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mapsched/internal/core"
+	"mapsched/internal/engine"
+	"mapsched/internal/hdfs"
+	"mapsched/internal/metrics"
+	"mapsched/internal/sched"
+	"mapsched/internal/workload"
+)
+
+// AblationPoint is one variant's outcome on a fixed workload.
+type AblationPoint struct {
+	Variant    string
+	MeanJCT    float64
+	MaxJCT     float64
+	RemoteGB   float64 // network bytes moved (map fetch + shuffle)
+	Unfinished int
+}
+
+func pointFrom(variant string, res *engine.Result) AblationPoint {
+	cdf := res.JobCompletionCDF()
+	return AblationPoint{
+		Variant:    variant,
+		MeanJCT:    cdf.Mean(),
+		MaxJCT:     cdf.Max(),
+		RemoteGB:   (res.MapRemoteBytes + res.ShuffleRemoteBytes) / 1e9,
+		Unfinished: res.Unfinished,
+	}
+}
+
+func renderAblation(id, title string, points []AblationPoint) Report {
+	t := metrics.NewTable("Variant", "Mean JCT", "Max JCT", "Network GB", "Unfinished")
+	for _, p := range points {
+		t.AddRow(p.Variant, fmt.Sprintf("%.1fs", p.MeanJCT), fmt.Sprintf("%.1fs", p.MaxJCT),
+			fmt.Sprintf("%.1f", p.RemoteGB), p.Unfinished)
+	}
+	return Report{ID: id, Title: title, Body: t.String()}
+}
+
+// runVariant runs the Wordcount batch (the shuffle-heavy class where the
+// estimator and cost model matter most) with a custom scheduler builder.
+func (s Setup) runVariant(b sched.Builder) (*engine.Result, error) {
+	return s.RunBatch(workload.Wordcount, b)
+}
+
+// AblationEstimator compares the paper's progress-scaled estimator against
+// the Coupling-style current-size view and the unrealizable oracle
+// (Section II-B-2's design choice).
+func AblationEstimator(s Setup) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, est := range []core.Estimator{core.ProgressScaled{}, core.CurrentSize{}, core.Oracle{}} {
+		cfg := sched.DefaultProbabilisticConfig()
+		cfg.Pmin = s.Pmin
+		cfg.Estimator = est
+		res, err := s.runVariant(sched.NewProbabilistic(cfg))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(est.Name(), res))
+	}
+	return out, nil
+}
+
+// AblationNetworkCondition compares hop-count distances against
+// inverse-transmission-rate distances under background cross-traffic
+// (Section II-B-3's design choice).
+func AblationNetworkCondition(s Setup) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, mode := range []core.Mode{core.ModeHops, core.ModeNetworkCondition} {
+		sp := s
+		sp.Engine.CostMode = mode
+		sp.Engine.CrossTraffic = 20
+		res, err := sp.runVariant(sp.BuilderFor(Probabilistic))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(mode.String(), res))
+	}
+	return out, nil
+}
+
+// AblationDeterministic compares the probabilistic Bernoulli assignment
+// against always assigning the minimum-cost candidate (Section II-C's
+// "balance between transmission cost reduction and resource utilization").
+func AblationDeterministic(s Setup) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, det := range []bool{false, true} {
+		cfg := sched.DefaultProbabilisticConfig()
+		cfg.Pmin = s.Pmin
+		cfg.Deterministic = det
+		name := "probabilistic"
+		if det {
+			name = "deterministic"
+		}
+		res, err := s.runVariant(sched.NewProbabilistic(cfg))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(name, res))
+	}
+	return out, nil
+}
+
+// AblationReduceSpread toggles Algorithm 2 line 1 (one running reduce of a
+// job per node).
+func AblationReduceSpread(s Setup) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, spread := range []bool{true, false} {
+		cfg := sched.DefaultProbabilisticConfig()
+		cfg.Pmin = s.Pmin
+		cfg.SpreadReduces = spread
+		name := "spread-on"
+		if !spread {
+			name = "spread-off"
+		}
+		res, err := s.runVariant(sched.NewProbabilistic(cfg))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(name, res))
+	}
+	return out, nil
+}
+
+// MultiRack runs the three schedulers on a 4-rack topology with
+// rack-spanning replicas — the regime the paper's introduction argues
+// coarse-grained locality breaks in (replicas across racks, storage on a
+// node subset).
+func MultiRack(s Setup) ([]AblationPoint, error) {
+	sp := s
+	sp.Engine.Topology.Racks = 4
+	sp.Engine.Topology.NodesPerRack = 15
+	sp.Workload.Placement = hdfs.Subset{K: 30} // storage on half the nodes
+	var out []AblationPoint
+	for _, k := range SchedulerKinds() {
+		res, err := sp.runVariant(sp.BuilderFor(k))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointFrom(k.String(), res))
+	}
+	return out, nil
+}
+
+// AblationReports runs every ablation and renders them.
+func AblationReports(s Setup) ([]Report, error) {
+	var reports []Report
+	type entry struct {
+		id, title string
+		run       func(Setup) ([]AblationPoint, error)
+	}
+	for _, e := range []entry{
+		{"abl-estimator", "Estimator: progress-scaled vs current-size vs oracle", AblationEstimator},
+		{"abl-netcond", "Distance: hop count vs inverse transmission rate (20 cross-traffic flows)", AblationNetworkCondition},
+		{"abl-deterministic", "Assignment: probabilistic vs deterministic min-cost", AblationDeterministic},
+		{"abl-spread", "Reduce spreading (Algorithm 2 line 1) on vs off", AblationReduceSpread},
+		{"abl-multirack", "Multi-rack, storage-subset cluster (4 racks, Subset-30 placement)", MultiRack},
+	} {
+		pts, err := e.run(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.id, err)
+		}
+		reports = append(reports, renderAblation(e.id, e.title, pts))
+	}
+	return reports, nil
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mapsched/internal/core"
+	"mapsched/internal/workload"
+)
+
+// fastSetup shrinks the workload so the full suite stays test-sized.
+func fastSetup() Setup {
+	s := DefaultSetup()
+	s.Workload.Scale = 30
+	s.Engine.CrossTraffic = 10
+	s.Engine.Topology.NodesPerRack = 20 // smaller cluster for test speed
+	return s
+}
+
+var (
+	cachedCmp     *Comparison
+	cachedCmpErr  error
+	cachedCmpOnce sync.Once
+)
+
+// fastComparison runs the full three-scheduler suite once per test binary.
+func fastComparison(t *testing.T) *Comparison {
+	t.Helper()
+	cachedCmpOnce.Do(func() {
+		cachedCmp, cachedCmpErr = fastSetup().RunComparison()
+	})
+	if cachedCmpErr != nil {
+		t.Fatal(cachedCmpErr)
+	}
+	return cachedCmp
+}
+
+func TestTableIIReport(t *testing.T) {
+	r := TableIIReport()
+	if !strings.Contains(r.Body, "Wordcount_10GB") || !strings.Contains(r.Body, "930") {
+		t.Fatalf("Table II body missing rows:\n%s", r.Body)
+	}
+	lines := strings.Count(r.Body, "\n")
+	if lines < 32 { // header + separator + 30 rows
+		t.Fatalf("Table II has %d lines", lines)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	f := Fig3()
+	if f.Input.N() != 30 || f.Shuffle.N() != 30 {
+		t.Fatalf("Fig3 over %d/%d jobs", f.Input.N(), f.Shuffle.N())
+	}
+	// All inputs within [10GB, 100GB].
+	if f.Input.Min() != 10e9 || f.Input.Max() != 100e9 {
+		t.Fatalf("input range [%v, %v]", f.Input.Min(), f.Input.Max())
+	}
+	// Map-intensive tail: some jobs below 10 GB shuffle.
+	if f.Shuffle.At(10e9) == 0 {
+		t.Fatal("no map-intensive jobs in shuffle CDF")
+	}
+	// Shuffle-heavy head: some jobs above 100 GB shuffle.
+	if f.Shuffle.At(100e9) == 1 {
+		t.Fatal("no shuffle-heavy jobs above 100GB")
+	}
+	if !strings.Contains(f.Report().Body, "CDF(shuffle)") {
+		t.Fatal("Fig3 report missing column")
+	}
+}
+
+func TestComparisonAndFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison in -short mode")
+	}
+	c := fastComparison(t)
+	for _, k := range SchedulerKinds() {
+		m := c.Results[k]
+		if m.Unfinished != 0 {
+			t.Fatalf("%v: %d unfinished jobs", k, m.Unfinished)
+		}
+		if len(m.Jobs) != 30 {
+			t.Fatalf("%v: %d job results", k, len(m.Jobs))
+		}
+		if m.JobCompletionCDF().N() != 30 {
+			t.Fatalf("%v: completion CDF has %d entries", k, m.JobCompletionCDF().N())
+		}
+		if m.MapUtilization <= 0 || m.ReduceUtilization <= 0 {
+			t.Fatalf("%v: zero utilization", k)
+		}
+	}
+
+	// Fig. 4 report renders all schedulers.
+	r4 := Fig4Report(c)
+	for _, k := range SchedulerKinds() {
+		if !strings.Contains(r4.Body, k.String()) {
+			t.Fatalf("Fig4 missing %v:\n%s", k, r4.Body)
+		}
+	}
+
+	// Fig. 5: paired reductions over all 30 jobs.
+	f5 := Fig5(c)
+	if f5.VsCoupling.N() != 30 || f5.VsFair.N() != 30 {
+		t.Fatalf("Fig5 pairs: %d vs coupling, %d vs fair", f5.VsCoupling.N(), f5.VsFair.N())
+	}
+	if !strings.Contains(f5.Report().Body, "average reduction") {
+		t.Fatal("Fig5 report missing summary")
+	}
+
+	// Fig. 6 report has both panels.
+	r6 := Fig6Report(c)
+	if !strings.Contains(r6.Body, "(a) Map tasks") || !strings.Contains(r6.Body, "(b) Reduce tasks") {
+		t.Fatalf("Fig6 body:\n%s", r6.Body)
+	}
+
+	// Table III percentages are sane and sum to 100 per scheduler.
+	t3 := TableIII(c)
+	for _, k := range SchedulerKinds() {
+		l := t3.Locality[k]
+		sum := l.PercentNode() + l.PercentRack() + l.PercentRemote()
+		if sum < 99.9 || sum > 100.1 {
+			t.Fatalf("%v locality sums to %v", k, sum)
+		}
+		// Single-rack testbed: no remote tasks (paper Table III).
+		if l.PercentRemote() != 0 {
+			t.Fatalf("%v has remote tasks in a single rack", k)
+		}
+	}
+	if !strings.Contains(t3.Report().Body, "% of local node tasks") {
+		t.Fatal("Table III report malformed")
+	}
+
+	// Fig. 7 covers the ten input sizes.
+	f7 := Fig7(c)
+	if len(f7.Sizes) != 10 {
+		t.Fatalf("Fig7 sizes = %v", f7.Sizes)
+	}
+	for _, k := range SchedulerKinds() {
+		for _, gb := range f7.Sizes {
+			p := f7.Percent[k][gb]
+			if p < 0 || p > 100 {
+				t.Fatalf("Fig7 %v@%dGB = %v", k, gb, p)
+			}
+		}
+	}
+	if !strings.Contains(f7.Report().Body, "10GB") {
+		t.Fatal("Fig7 report missing rows")
+	}
+
+	// Utilization report.
+	u := Utilization(c)
+	if !strings.Contains(u.Report().Body, "reduce") {
+		t.Fatal("utilization report malformed")
+	}
+}
+
+func TestPminSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	s := fastSetup()
+	pts, err := PminSweep(s, []float64{0.2, 0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d sweep points", len(pts))
+	}
+	rep := PminReport(pts)
+	if !strings.Contains(rep.Body, "0.4") {
+		t.Fatalf("sweep report:\n%s", rep.Body)
+	}
+}
+
+func TestBuilderForAllKinds(t *testing.T) {
+	s := DefaultSetup()
+	for _, k := range SchedulerKinds() {
+		if s.BuilderFor(k) == nil {
+			t.Fatalf("nil builder for %v", k)
+		}
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestDefaultSetupUsesPaperParameters(t *testing.T) {
+	s := DefaultSetup()
+	if s.Pmin != 0.4 {
+		t.Fatalf("Pmin = %v, want the paper's 0.4", s.Pmin)
+	}
+	if s.Engine.MapSlotsPerNode != 4 || s.Engine.ReduceSlotsPerNode != 2 {
+		t.Fatal("slot counts differ from the paper's 4+2")
+	}
+	if s.Engine.Topology.Racks*s.Engine.Topology.NodesPerRack != 60 {
+		t.Fatal("cluster is not 60 nodes")
+	}
+	if s.Workload.Replication != 2 {
+		t.Fatal("replication is not 2")
+	}
+	if s.Engine.CostMode != core.ModeNetworkCondition {
+		t.Fatal("headline cost mode should include the network condition (Section II-B-3)")
+	}
+}
+
+func TestAblationEstimatorVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	s := fastSetup()
+	pts, err := AblationEstimator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d estimator variants", len(pts))
+	}
+	names := map[string]bool{}
+	for _, p := range pts {
+		names[p.Variant] = true
+		if p.Unfinished != 0 {
+			t.Fatalf("%s left jobs unfinished", p.Variant)
+		}
+	}
+	for _, want := range []string{"progress-scaled", "current-size", "oracle"} {
+		if !names[want] {
+			t.Fatalf("missing variant %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestMultiRackOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multirack in -short mode")
+	}
+	s := fastSetup()
+	pts, err := MultiRack(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d scheduler points", len(pts))
+	}
+	for _, p := range pts {
+		if p.MeanJCT <= 0 {
+			t.Fatalf("%s mean JCT %v", p.Variant, p.MeanJCT)
+		}
+	}
+}
+
+func TestJobPairLookup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison in -short mode")
+	}
+	c := fastComparison(t)
+	name := workload.TableII()[0].Name()
+	ta, tb, ok := c.JobPair(name, Fair, Probabilistic)
+	if !ok || ta <= 0 || tb <= 0 {
+		t.Fatalf("JobPair(%s) = %v %v %v", name, ta, tb, ok)
+	}
+	if _, _, ok := c.JobPair("missing", Fair, Probabilistic); ok {
+		t.Fatal("phantom job pair")
+	}
+}

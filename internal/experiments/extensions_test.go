@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model comparison in -short mode")
+	}
+	pts, err := ModelComparison(fastSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d model points, want 4", len(pts))
+	}
+	names := map[string]bool{}
+	for _, p := range pts {
+		names[p.Variant] = true
+		if p.Unfinished != 0 {
+			t.Fatalf("model %s left %d jobs unfinished", p.Variant, p.Unfinished)
+		}
+		if p.MeanJCT <= 0 {
+			t.Fatalf("model %s has mean JCT %v", p.Variant, p.MeanJCT)
+		}
+	}
+	for _, want := range []string{"exponential", "linear", "rational(k=1)", "step"} {
+		if !names[want] {
+			t.Fatalf("missing model %s in %v", want, names)
+		}
+	}
+}
+
+func TestExtendedComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended comparison in -short mode")
+	}
+	pts, err := ExtendedComparison(fastSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("%d scheduler points, want 5", len(pts))
+	}
+	for _, p := range pts {
+		if p.Unfinished != 0 {
+			t.Fatalf("%s left jobs unfinished", p.Variant)
+		}
+	}
+}
+
+func TestFaultTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault tolerance in -short mode")
+	}
+	pts, err := FaultTolerance(fastSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d fault points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Unfinished != 0 {
+			t.Fatalf("%s did not recover from failures", p.Scheduler)
+		}
+		if p.BaselineJCT <= 0 || p.FaultyJCT <= 0 {
+			t.Fatalf("%s has empty JCTs: %+v", p.Scheduler, p)
+		}
+	}
+	rep := FaultReport(pts)
+	if !strings.Contains(rep.Body, "Probabilistic") {
+		t.Fatalf("fault report malformed:\n%s", rep.Body)
+	}
+}
+
+func TestAnalysisReport(t *testing.T) {
+	rep, err := AnalysisReport(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "0.632") {
+		t.Fatalf("analysis report missing the breakpoint:\n%s", rep.Body)
+	}
+	// Above the breakpoint only the local node accepts: zero expected cost
+	// at ~n expected offers.
+	if !strings.Contains(rep.Body, "60.00") || !strings.Contains(rep.Body, "100.0%") {
+		t.Fatalf("analysis report missing the local-only regime:\n%s", rep.Body)
+	}
+	if _, err := AnalysisReport(1); err == nil {
+		t.Fatal("single-node analysis accepted")
+	}
+}
+
+func TestSeedStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed study in -short mode")
+	}
+	s := fastSetup()
+	rep, err := SeedStudy(s, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "grand mean") {
+		t.Fatalf("seed study report malformed:\n%s", rep.Body)
+	}
+	if _, err := SeedStudy(s, nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}
+
+func TestJobPolicyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy comparison in -short mode")
+	}
+	pts, err := JobPolicyComparison(fastSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d policy points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Unfinished != 0 {
+			t.Fatalf("%s left jobs unfinished", p.Variant)
+		}
+	}
+}

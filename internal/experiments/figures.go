@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mapsched/internal/metrics"
+	"mapsched/internal/workload"
+)
+
+// Report is one rendered experiment artifact.
+type Report struct {
+	ID    string // e.g. "tableII", "fig4"
+	Title string
+	Body  string
+}
+
+// String renders the report with its header.
+func (r Report) String() string {
+	return fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Body)
+}
+
+// TableIIReport regenerates Table II: the 30 jobs with their input sizes
+// and task counts (at scale 1, i.e. exactly the published numbers).
+func TableIIReport() Report {
+	t := metrics.NewTable("JobID", "Job", "Map (#)", "Reduce (#)")
+	for _, d := range workload.TableII() {
+		t.AddRow(d.JobID, d.Name(), d.Maps, d.Reduces)
+	}
+	return Report{ID: "tableII", Title: "The description of the 30 jobs", Body: t.String()}
+}
+
+// Fig3Data holds the two CDFs of Fig. 3.
+type Fig3Data struct {
+	Input   metrics.CDF // job input sizes, bytes
+	Shuffle metrics.CDF // job shuffle sizes, bytes
+}
+
+// Fig3 computes the input-size and shuffle-size CDFs over the Table II
+// workload (at full scale, as the paper characterizes the workload).
+func Fig3() Fig3Data {
+	var in, sh []float64
+	for _, d := range workload.TableII() {
+		in = append(in, d.InputBytes())
+		sh = append(sh, d.ShuffleBytes())
+	}
+	return Fig3Data{Input: metrics.NewCDF(in), Shuffle: metrics.NewCDF(sh)}
+}
+
+// Report renders Fig. 3 as a two-series CDF table.
+func (f Fig3Data) Report() Report {
+	t := metrics.NewTable("Size", "CDF(input)", "CDF(shuffle)")
+	for _, gb := range []float64{10, 25, 50, 75, 100, 150, 200, 250} {
+		x := gb * 1e9
+		t.AddRow(metrics.GB(x), f.Input.At(x), f.Shuffle.At(x))
+	}
+	return Report{ID: "fig3", Title: "CDF of data size", Body: t.String()}
+}
+
+// cdfTable renders one CDF column per scheduler at common quantiles.
+func cdfTable(c *Comparison, sample func(*Merged) []float64, unit string) string {
+	t := metrics.NewTable(append([]string{"Quantile"}, schedulerNames(c)...)...)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0} {
+		row := []any{fmt.Sprintf("p%.0f", q*100)}
+		for _, k := range SchedulerKinds() {
+			cdf := metrics.NewCDF(sample(c.Results[k]))
+			row = append(row, fmt.Sprintf("%.1f%s", cdf.Quantile(q), unit))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func schedulerNames(c *Comparison) []string {
+	names := make([]string, 0, len(SchedulerKinds()))
+	for _, k := range SchedulerKinds() {
+		names = append(names, k.String())
+	}
+	_ = c
+	return names
+}
+
+// Fig4Report renders the job-completion-time CDFs per scheduler.
+func Fig4Report(c *Comparison) Report {
+	body := cdfTable(c, func(m *Merged) []float64 { return m.CompletionTimes() }, "s")
+	var mean strings.Builder
+	for _, k := range SchedulerKinds() {
+		fmt.Fprintf(&mean, "mean(%s) = %.1fs  ", k, c.Results[k].JobCompletionCDF().Mean())
+	}
+	return Report{ID: "fig4", Title: "CDF of job completion time (replication 2)",
+		Body: body + mean.String() + "\n"}
+}
+
+// Fig5Data holds the per-job completion-time reductions of Fig. 5.
+type Fig5Data struct {
+	VsCoupling metrics.CDF // (coupling − probabilistic)/coupling per job
+	VsFair     metrics.CDF // (fair − probabilistic)/fair per job
+}
+
+// Fig5 computes the paired per-job reductions.
+func Fig5(c *Comparison) Fig5Data {
+	var vsC, vsF []float64
+	for _, d := range workload.TableII() {
+		name := d.Name()
+		if tc, tp, ok := c.JobPair(name, Coupling, Probabilistic); ok {
+			vsC = append(vsC, metrics.Reduction(tc, tp))
+		}
+		if tf, tp, ok := c.JobPair(name, Fair, Probabilistic); ok {
+			vsF = append(vsF, metrics.Reduction(tf, tp))
+		}
+	}
+	return Fig5Data{VsCoupling: metrics.NewCDF(vsC), VsFair: metrics.NewCDF(vsF)}
+}
+
+// AvgVsCoupling returns the mean reduction against the Coupling scheduler
+// (the paper reports 17%).
+func (f Fig5Data) AvgVsCoupling() float64 { return f.VsCoupling.Mean() }
+
+// AvgVsFair returns the mean reduction against the Fair scheduler (the
+// paper reports 46%).
+func (f Fig5Data) AvgVsFair() float64 { return f.VsFair.Mean() }
+
+// Report renders Fig. 5.
+func (f Fig5Data) Report() Report {
+	t := metrics.NewTable("Reduction", "CDF vs Coupling", "CDF vs Fair")
+	for _, r := range []float64{-0.25, 0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.75} {
+		t.AddRow(fmt.Sprintf("%.0f%%", r*100),
+			fmt.Sprintf("%.2f", f.VsCoupling.At(r)),
+			fmt.Sprintf("%.2f", f.VsFair.At(r)))
+	}
+	extra := fmt.Sprintf("average reduction: %.1f%% vs coupling, %.1f%% vs fair\n",
+		100*f.AvgVsCoupling(), 100*f.AvgVsFair())
+	return Report{ID: "fig5", Title: "Reduction of job processing time", Body: t.String() + extra}
+}
+
+// Fig6Report renders the map-task and reduce-task running time CDFs.
+func Fig6Report(c *Comparison) Report {
+	maps := cdfTable(c, func(m *Merged) []float64 { return m.MapTimes }, "s")
+	reds := cdfTable(c, func(m *Merged) []float64 { return m.ReduceTimes }, "s")
+	return Report{ID: "fig6", Title: "CDF of task completion time",
+		Body: "(a) Map tasks\n" + maps + "(b) Reduce tasks\n" + reds}
+}
+
+// TableIIIData holds the locality mix per scheduler.
+type TableIIIData struct {
+	Locality map[SchedulerKind]metrics.LocalityCount
+}
+
+// TableIII computes the Table III locality percentages over map+reduce
+// tasks.
+func TableIII(c *Comparison) TableIIIData {
+	d := TableIIIData{Locality: make(map[SchedulerKind]metrics.LocalityCount)}
+	for _, k := range SchedulerKinds() {
+		d.Locality[k] = c.Results[k].TaskLocality()
+	}
+	return d
+}
+
+// Report renders Table III.
+func (d TableIIIData) Report() Report {
+	t := metrics.NewTable("", "Probabilistic", "Coupling", "Fair")
+	row := func(label string, get func(metrics.LocalityCount) float64) {
+		cells := []any{label}
+		for _, k := range SchedulerKinds() {
+			cells = append(cells, fmt.Sprintf("%.2f", get(d.Locality[k])))
+		}
+		t.AddRow(cells...)
+	}
+	row("% of local node tasks", func(l metrics.LocalityCount) float64 { return l.PercentNode() })
+	row("% of local rack tasks", func(l metrics.LocalityCount) float64 { return l.PercentRack() })
+	row("% of remote tasks", func(l metrics.LocalityCount) float64 { return l.PercentRemote() })
+	return Report{ID: "tableIII", Title: "Details on data locality using the three schedulers", Body: t.String()}
+}
+
+// Fig7Data maps input size (GB) to percent node-local map tasks per
+// scheduler.
+type Fig7Data struct {
+	Sizes   []int
+	Percent map[SchedulerKind]map[int]float64
+}
+
+// Fig7 computes per-input-size map locality from per-job tallies.
+func Fig7(c *Comparison) Fig7Data {
+	d := Fig7Data{Percent: make(map[SchedulerKind]map[int]float64)}
+	sizes := map[int]bool{}
+	for _, k := range SchedulerKinds() {
+		agg := map[int]*metrics.LocalityCount{}
+		for _, jr := range c.Results[k].Jobs {
+			gb := int(jr.InputBytes*float64(c.Setup.Workload.Scale)/1e9 + 0.5)
+			sizes[gb] = true
+			if agg[gb] == nil {
+				agg[gb] = &metrics.LocalityCount{}
+			}
+			agg[gb].Merge(jr.MapLocality)
+		}
+		d.Percent[k] = map[int]float64{}
+		for gb, l := range agg {
+			d.Percent[k][gb] = l.PercentNode()
+		}
+	}
+	for gb := range sizes {
+		d.Sizes = append(d.Sizes, gb)
+	}
+	sort.Ints(d.Sizes)
+	return d
+}
+
+// Report renders Fig. 7.
+func (d Fig7Data) Report() Report {
+	t := metrics.NewTable("Input", "Probabilistic", "Coupling", "Fair")
+	for _, gb := range d.Sizes {
+		row := []any{fmt.Sprintf("%dGB", gb)}
+		for _, k := range SchedulerKinds() {
+			row = append(row, fmt.Sprintf("%.1f%%", d.Percent[k][gb]))
+		}
+		t.AddRow(row...)
+	}
+	return Report{ID: "fig7", Title: "The percentage of map tasks with local data", Body: t.String()}
+}
+
+// UtilizationData holds the slot-utilization comparison (Section III-A's
+// resource-utilization claim).
+type UtilizationData struct {
+	Map    map[SchedulerKind]float64
+	Reduce map[SchedulerKind]float64
+}
+
+// Utilization extracts time-averaged slot utilization per scheduler.
+func Utilization(c *Comparison) UtilizationData {
+	d := UtilizationData{Map: map[SchedulerKind]float64{}, Reduce: map[SchedulerKind]float64{}}
+	for _, k := range SchedulerKinds() {
+		d.Map[k] = c.Results[k].MapUtilization
+		d.Reduce[k] = c.Results[k].ReduceUtilization
+	}
+	return d
+}
+
+// Report renders the utilization comparison.
+func (d UtilizationData) Report() Report {
+	t := metrics.NewTable("Slots", "Probabilistic", "Coupling", "Fair")
+	mapRow := []any{"map"}
+	redRow := []any{"reduce"}
+	for _, k := range SchedulerKinds() {
+		mapRow = append(mapRow, fmt.Sprintf("%.2f", d.Map[k]))
+		redRow = append(redRow, fmt.Sprintf("%.2f", d.Reduce[k]))
+	}
+	t.AddRow(mapRow...)
+	t.AddRow(redRow...)
+	return Report{ID: "util", Title: "Time-averaged slot utilization", Body: t.String()}
+}
+
+// PminPoint is one sweep sample.
+type PminPoint struct {
+	Pmin       float64
+	MeanJCT    float64 // over finished jobs
+	Unfinished int
+}
+
+// PminSweep reruns the Wordcount batch under the probabilistic scheduler
+// for each threshold, reproducing the paper's tuning procedure ("ran 10
+// Wordcount jobs together several times with different P_min values and
+// picked the highest P_min value at the time when all jobs finished
+// successfully").
+func PminSweep(s Setup, values []float64) ([]PminPoint, error) {
+	var out []PminPoint
+	for _, p := range values {
+		sp := s
+		sp.Pmin = p
+		// A tight horizon makes "jobs fail to finish" observable, as on
+		// the real cluster; feasible thresholds finish well within it.
+		sp.Engine.MaxSimTime = 1200 * float64(6) / float64(s.Workload.Scale)
+		res, err := sp.RunBatch(workload.Wordcount, sp.BuilderFor(Probabilistic))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PminPoint{
+			Pmin:       p,
+			MeanJCT:    res.JobCompletionCDF().Mean(),
+			Unfinished: res.Unfinished,
+		})
+	}
+	return out, nil
+}
+
+// PminReport renders the sweep and the chosen threshold.
+func PminReport(points []PminPoint) Report {
+	t := metrics.NewTable("Pmin", "Mean JCT", "Unfinished jobs")
+	best := -1.0
+	for _, p := range points {
+		jct := "-"
+		if p.MeanJCT == p.MeanJCT { // not NaN
+			jct = fmt.Sprintf("%.1fs", p.MeanJCT)
+		}
+		t.AddRow(fmt.Sprintf("%.1f", p.Pmin), jct, p.Unfinished)
+		if p.Unfinished == 0 && p.Pmin > best {
+			best = p.Pmin
+		}
+	}
+	note := fmt.Sprintf("highest Pmin with all jobs finished: %.1f (paper picks 0.4)\n", best)
+	return Report{ID: "pmin", Title: "Pmin tuning sweep (10 Wordcount jobs)", Body: t.String() + note}
+}

@@ -1,0 +1,384 @@
+package job
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mapsched/internal/hdfs"
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name:              "test",
+		MapSelectivity:    0.5,
+		MapRate:           25e6,
+		ReduceRate:        25e6,
+		PartitionSkew:     0.5,
+		SelectivityJitter: 0.1,
+		OutputCurveSpread: 0.2,
+		ComputeJitter:     0.1,
+	}
+}
+
+func testStore(t *testing.T) *hdfs.Store {
+	t.Helper()
+	spec := topology.DefaultSpec()
+	spec.Racks = 2
+	spec.NodesPerRack = 5
+	net, err := topology.NewCluster(sim.NewEngine(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hdfs.NewStore(net, sim.NewRNG(1))
+}
+
+func mustJob(t *testing.T, spec Spec) *Job {
+	t.Helper()
+	j, err := New(1, spec, testStore(t), sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestNewJobShape(t *testing.T) {
+	j := mustJob(t, Spec{
+		Name:       "wc",
+		Profile:    testProfile(),
+		InputBytes: 10 * 128e6,
+		BlockSize:  128e6,
+		NumReduces: 4,
+	})
+	if j.NumMaps() != 10 {
+		t.Fatalf("NumMaps = %d, want 10", j.NumMaps())
+	}
+	if j.NumReduces() != 4 {
+		t.Fatalf("NumReduces = %d, want 4", j.NumReduces())
+	}
+	for _, m := range j.Maps {
+		if m.Size != 128e6 {
+			t.Fatalf("map %d size %v, want 128e6", m.Index, m.Size)
+		}
+		if len(m.Out) != 4 {
+			t.Fatalf("map %d has %d partitions", m.Index, len(m.Out))
+		}
+		if m.State != TaskPending {
+			t.Fatalf("map %d state %v, want pending", m.Index, m.State)
+		}
+		if m.Node != -1 {
+			t.Fatalf("map %d pre-assigned to node %d", m.Index, m.Node)
+		}
+	}
+}
+
+func TestIntermediateMatrixVolume(t *testing.T) {
+	p := testProfile()
+	p.SelectivityJitter = 0 // exact volume
+	j := mustJob(t, Spec{
+		Name:       "wc",
+		Profile:    p,
+		InputBytes: 8 * 128e6,
+		BlockSize:  128e6,
+		NumReduces: 5,
+	})
+	var total float64
+	for _, m := range j.Maps {
+		total += m.TotalOut()
+	}
+	want := 8 * 128e6 * p.MapSelectivity
+	if math.Abs(total-want)/want > 1e-9 {
+		t.Fatalf("Σ I_jf = %v, want %v", total, want)
+	}
+	// Reduce-side view agrees.
+	var byReduce float64
+	for _, r := range j.Reduces {
+		byReduce += r.ExpectedInput()
+	}
+	if math.Abs(byReduce-total) > 1 {
+		t.Fatalf("reduce-side sum %v != map-side sum %v", byReduce, total)
+	}
+}
+
+func TestPartitionWeightsNormalized(t *testing.T) {
+	rng := sim.NewRNG(5)
+	for _, skew := range []float64{0, 0.3, 1, 2.5} {
+		for _, n := range []int{1, 2, 7, 100} {
+			w := partitionWeights(n, skew, rng)
+			var sum float64
+			for _, v := range w {
+				if v < 0 {
+					t.Fatalf("negative weight with skew %v", skew)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("weights sum %v (n=%d skew=%v)", sum, n, skew)
+			}
+		}
+	}
+}
+
+func TestPartitionSkewConcentrates(t *testing.T) {
+	rng := sim.NewRNG(5)
+	flat := partitionWeights(50, 0, rng)
+	skewed := partitionWeights(50, 2, rng)
+	maxFlat, maxSkew := 0.0, 0.0
+	for i := range flat {
+		maxFlat = math.Max(maxFlat, flat[i])
+		maxSkew = math.Max(maxSkew, skewed[i])
+	}
+	if maxSkew <= maxFlat {
+		t.Fatalf("skewed max weight %v not above uniform %v", maxSkew, maxFlat)
+	}
+}
+
+func TestCurrentOutProgressCurve(t *testing.T) {
+	j := mustJob(t, Spec{
+		Name: "wc", Profile: testProfile(),
+		InputBytes: 128e6, BlockSize: 128e6, NumReduces: 2,
+	})
+	m := j.Maps[0]
+	m.State = TaskRunning
+	m.Progress = 0
+	if got := m.CurrentOut(0); got != 0 {
+		t.Fatalf("CurrentOut at progress 0 = %v, want 0", got)
+	}
+	m.Progress = 0.5
+	half := m.CurrentOut(0)
+	if half <= 0 || half >= m.Out[0] {
+		t.Fatalf("CurrentOut at 0.5 = %v, want within (0, %v)", half, m.Out[0])
+	}
+	m.Progress = 1
+	if got := m.CurrentOut(0); math.Abs(got-m.Out[0]) > 1e-6 {
+		t.Fatalf("CurrentOut at 1 = %v, want %v", got, m.Out[0])
+	}
+	m.State = TaskDone
+	m.Progress = 0.3 // stale progress must not matter once done
+	if got := m.CurrentOut(0); got != m.Out[0] {
+		t.Fatalf("done task CurrentOut = %v, want full %v", got, m.Out[0])
+	}
+}
+
+func TestEstimatorIdentityWhenCurveIsOne(t *testing.T) {
+	// With γ = 1, A_jf * B_j / d_read == I_jf at any progress — the
+	// paper's estimator is exact for proportional output.
+	j := mustJob(t, Spec{
+		Name: "wc", Profile: testProfile(),
+		InputBytes: 128e6, BlockSize: 128e6, NumReduces: 3,
+	})
+	m := j.Maps[0]
+	m.OutputCurve = 1
+	m.State = TaskRunning
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		m.Progress = p
+		for f := range m.Out {
+			est := m.CurrentOut(f) * m.Size / m.DRead()
+			if math.Abs(est-m.Out[f]) > 1e-6*m.Out[f] {
+				t.Fatalf("estimator at p=%v: %v, want %v", p, est, m.Out[f])
+			}
+		}
+	}
+}
+
+func TestMapProgressAggregation(t *testing.T) {
+	j := mustJob(t, Spec{
+		Name: "wc", Profile: testProfile(),
+		InputBytes: 4 * 128e6, BlockSize: 128e6, NumReduces: 2,
+	})
+	if p := j.MapProgress(); p != 0 {
+		t.Fatalf("initial MapProgress = %v, want 0", p)
+	}
+	j.Maps[0].State = TaskDone
+	j.DoneMaps = 1
+	j.Maps[1].State = TaskRunning
+	j.Maps[1].Progress = 0.5
+	if p := j.MapProgress(); math.Abs(p-0.375) > 1e-9 {
+		t.Fatalf("MapProgress = %v, want 0.375", p)
+	}
+	for _, m := range j.Maps {
+		m.State = TaskDone
+	}
+	j.DoneMaps = 4
+	if p := j.MapProgress(); p != 1 {
+		t.Fatalf("final MapProgress = %v, want 1", p)
+	}
+	if !j.MapsDone() {
+		t.Fatal("MapsDone() = false with all maps done")
+	}
+}
+
+func TestPendingAndRunningViews(t *testing.T) {
+	j := mustJob(t, Spec{
+		Name: "wc", Profile: testProfile(),
+		InputBytes: 3 * 128e6, BlockSize: 128e6, NumReduces: 3,
+	})
+	if len(j.PendingMaps()) != 3 || len(j.PendingReduces()) != 3 {
+		t.Fatal("fresh job has wrong pending counts")
+	}
+	j.Maps[0].State = TaskRunning
+	j.Reduces[1].State = TaskRunning
+	if len(j.PendingMaps()) != 2 || len(j.PendingReduces()) != 2 {
+		t.Fatal("pending views did not shrink")
+	}
+	m, r := j.RunningTasks()
+	if m != 1 || r != 1 {
+		t.Fatalf("RunningTasks = (%d,%d), want (1,1)", m, r)
+	}
+}
+
+func TestHasReduceOn(t *testing.T) {
+	j := mustJob(t, Spec{
+		Name: "wc", Profile: testProfile(),
+		InputBytes: 128e6, BlockSize: 128e6, NumReduces: 2,
+	})
+	if j.HasReduceOn(3) {
+		t.Fatal("fresh job claims a reduce on node 3")
+	}
+	j.Reduces[0].State = TaskRunning
+	j.Reduces[0].Node = 3
+	if !j.HasReduceOn(3) {
+		t.Fatal("running reduce on node 3 not detected")
+	}
+	j.Reduces[0].State = TaskDone
+	if j.HasReduceOn(3) {
+		t.Fatal("finished reduce still blocks node 3 (rule covers running reduces only)")
+	}
+	if j.HasReduceOn(4) {
+		t.Fatal("phantom reduce on node 4")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	store := testStore(t)
+	rng := sim.NewRNG(3)
+	good := Spec{Name: "ok", Profile: testProfile(), InputBytes: 1e6, BlockSize: 128e6, NumReduces: 1}
+	if _, err := New(1, good, store, rng); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Name: "input", Profile: testProfile(), InputBytes: 0, BlockSize: 1, NumReduces: 1},
+		{Name: "block", Profile: testProfile(), InputBytes: 1, BlockSize: 0, NumReduces: 1},
+		{Name: "reduces", Profile: testProfile(), InputBytes: 1, BlockSize: 1, NumReduces: 0},
+	}
+	for _, s := range bad {
+		if _, err := New(1, s, store, rng); err == nil {
+			t.Errorf("spec %q accepted, want error", s.Name)
+		}
+	}
+	badProfile := testProfile()
+	badProfile.MapRate = 0
+	if _, err := New(1, Spec{Name: "p", Profile: badProfile, InputBytes: 1, BlockSize: 1, NumReduces: 1}, store, rng); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	mk := func(mut func(*Profile)) Profile {
+		p := testProfile()
+		mut(&p)
+		return p
+	}
+	bad := []Profile{
+		mk(func(p *Profile) { p.Name = "" }),
+		mk(func(p *Profile) { p.MapSelectivity = -1 }),
+		mk(func(p *Profile) { p.MapRate = 0 }),
+		mk(func(p *Profile) { p.ReduceRate = -5 }),
+		mk(func(p *Profile) { p.PartitionSkew = -0.1 }),
+		mk(func(p *Profile) { p.SelectivityJitter = 1 }),
+		mk(func(p *Profile) { p.OutputCurveSpread = -0.2 }),
+		mk(func(p *Profile) { p.ComputeJitter = 2 }),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+	if err := testProfile().Validate(); err != nil {
+		t.Errorf("good profile rejected: %v", err)
+	}
+}
+
+func TestDefaultReplicationIsTwo(t *testing.T) {
+	store := testStore(t)
+	j, err := New(1, Spec{
+		Name: "wc", Profile: testProfile(),
+		InputBytes: 128e6, BlockSize: 128e6, NumReduces: 1,
+	}, store, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(store.Replicas(j.Maps[0].Block)); got != 2 {
+		t.Fatalf("default replication = %d, want 2", got)
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property: for any job, Σ_j Σ_f I_jf within jitter bounds of
+	// input × selectivity, and every I_jf >= 0.
+	f := func(blocks uint8, reduces uint8, seed int64) bool {
+		nb := 1 + int(blocks)%20
+		nr := 1 + int(reduces)%30
+		store := hdfsStoreForQuick()
+		p := testProfile()
+		j, err := New(1, Spec{
+			Name: "q", Profile: p,
+			InputBytes: float64(nb) * 64e6, BlockSize: 64e6, NumReduces: nr,
+		}, store, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, m := range j.Maps {
+			for _, v := range m.Out {
+				if v < 0 {
+					return false
+				}
+				total += v
+			}
+		}
+		base := float64(nb) * 64e6 * p.MapSelectivity
+		lo := base * (1 - p.SelectivityJitter - 1e-9)
+		hi := base * (1 + p.SelectivityJitter + 1e-9)
+		return total >= lo && total <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hdfsStoreForQuick() *hdfs.Store {
+	spec := topology.DefaultSpec()
+	spec.Racks = 2
+	spec.NodesPerRack = 5
+	net, err := topology.NewCluster(sim.NewEngine(), spec)
+	if err != nil {
+		panic(err)
+	}
+	return hdfs.NewStore(net, sim.NewRNG(1))
+}
+
+func TestTaskStateString(t *testing.T) {
+	if TaskPending.String() != "pending" || TaskRunning.String() != "running" || TaskDone.String() != "done" {
+		t.Fatal("TaskState strings wrong")
+	}
+	if TaskState(9).String() == "" {
+		t.Fatal("unknown state has empty string")
+	}
+}
+
+func TestLocalityString(t *testing.T) {
+	cases := map[Locality]string{
+		LocalNode:       "local node",
+		LocalRack:       "local rack",
+		Remote:          "remote",
+		LocalityUnknown: "unknown",
+	}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}

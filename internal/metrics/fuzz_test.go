@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCDF checks the distribution invariants on arbitrary byte-derived
+// samples: At is monotone in [0,1], quantiles stay within the sample
+// range, and the mean lies between min and max.
+func FuzzCDF(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := make([]float64, 0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			vals = append(vals, float64(binary.LittleEndian.Uint16(data[i:])))
+		}
+		c := NewCDF(vals)
+		if len(vals) == 0 {
+			if c.At(1) != 0 {
+				t.Fatal("empty CDF At != 0")
+			}
+			return
+		}
+		prev := -1.0
+		for _, x := range []float64{-1, 0, 100, 1000, 70000} {
+			p := c.At(x)
+			if p < 0 || p > 1 || p < prev {
+				t.Fatalf("At(%v) = %v broke monotonicity", x, p)
+			}
+			prev = p
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := c.Quantile(q)
+			if v < c.Min() || v > c.Max() {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, c.Min(), c.Max())
+			}
+		}
+		if m := c.Mean(); m < c.Min()-1e-9 || m > c.Max()+1e-9 {
+			t.Fatalf("mean %v outside range", m)
+		}
+	})
+}
+
+// FuzzTimeAvg checks that time-weighted averages of non-negative step
+// functions stay within the observed value range.
+func FuzzTimeAvg(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a TimeAvg
+		now := 0.0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i+1 < len(data); i += 2 {
+			now += float64(data[i]) / 8
+			v := float64(data[i+1])
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			a.Update(now, v)
+		}
+		if math.IsInf(lo, 1) {
+			return // no samples
+		}
+		avg := a.Average(now + 1)
+		if avg < lo-1e-9 || avg > hi+1e-9 {
+			t.Fatalf("average %v outside [%v, %v]", avg, lo, hi)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"fmt"
+
+	"mapsched/internal/core"
+	"mapsched/internal/job"
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+)
+
+// ProbabilisticConfig tunes the paper's scheduler.
+type ProbabilisticConfig struct {
+	// Pmin is the probability threshold below which a slot is skipped
+	// (Algorithm 1 line 10 / Algorithm 2 line 11). The paper tunes it to
+	// 0.4 on its testbed.
+	Pmin float64
+	// Estimator predicts I_jf for reduce cost computation; nil means the
+	// paper's progress-scaled estimator.
+	Estimator core.Estimator
+	// JobPolicy orders jobs; the paper's experiments use fair ordering.
+	JobPolicy JobPolicy
+	// Deterministic replaces the Bernoulli draw with an unconditional
+	// assignment whenever P ≥ Pmin. Used by the ablation of Section II-C's
+	// design choice ("rather than assigning the task with the lowest
+	// transmission cost instantly ... we use such a probability").
+	Deterministic bool
+	// SpreadReduces enforces Algorithm 2 line 1: at most one running
+	// reduce task of a job per node. On by default via NewProbabilistic.
+	SpreadReduces bool
+	// Model converts (C_avg, C) into the assignment probability; nil means
+	// the paper's exponential model (Formula 4). Section V calls the
+	// exploration of alternative models out as future work.
+	Model core.ProbabilityModel
+}
+
+// DefaultProbabilisticConfig returns the paper's settings.
+func DefaultProbabilisticConfig() ProbabilisticConfig {
+	return ProbabilisticConfig{
+		Pmin:          0.4,
+		Estimator:     core.ProgressScaled{},
+		JobPolicy:     FairJobs,
+		SpreadReduces: true,
+	}
+}
+
+// Probabilistic is the paper's probabilistic network-aware scheduler.
+type Probabilistic struct {
+	env Env
+	cfg ProbabilisticConfig
+
+	// costerCache memoizes per-job reduce costers for a short window:
+	// heartbeat-reported progress moves slowly relative to the offer rate,
+	// so rebuilding the O(maps x reduces) aggregation on every slot offer
+	// only burns time (a real JobTracker caches these statistics too).
+	costerCache map[job.ID]costerEntry
+}
+
+// costerEntry is one cached reduce coster with its build time.
+type costerEntry struct {
+	at sim.Time
+	rc *core.ReduceCoster
+}
+
+// costerMaxAge is how long a cached coster stays fresh, in simulated
+// seconds.
+const costerMaxAge = 1.0
+
+// coster returns a fresh-enough reduce coster for j.
+func (p *Probabilistic) coster(j *job.Job, now sim.Time) *core.ReduceCoster {
+	if e, ok := p.costerCache[j.ID]; ok && float64(now-e.at) < costerMaxAge {
+		return e.rc
+	}
+	rc := p.env.Cost.NewReduceCoster(j, p.cfg.Estimator)
+	p.costerCache[j.ID] = costerEntry{at: now, rc: rc}
+	return rc
+}
+
+// NewProbabilistic returns a Builder for the scheduler with the given
+// configuration; zero-value estimator and policy fall back to the paper's
+// defaults.
+func NewProbabilistic(cfg ProbabilisticConfig) Builder {
+	if cfg.Estimator == nil {
+		cfg.Estimator = core.ProgressScaled{}
+	}
+	if cfg.Model == nil {
+		cfg.Model = core.Exponential{}
+	}
+	return func(env Env) Scheduler {
+		return &Probabilistic{env: env, cfg: cfg, costerCache: make(map[job.ID]costerEntry)}
+	}
+}
+
+// Name implements Scheduler.
+func (p *Probabilistic) Name() string {
+	n := "probabilistic"
+	if p.cfg.Deterministic {
+		n = "deterministic-cost"
+	}
+	if p.env.Cost.Mode() == core.ModeNetworkCondition {
+		n += "+netcond"
+	}
+	return fmt.Sprintf("%s(pmin=%.2f,est=%s,model=%s)", n, p.cfg.Pmin, p.cfg.Estimator.Name(), p.cfg.Model.Name())
+}
+
+// AssignMap implements Algorithm 1 on the offered node. Candidate tasks
+// come from the fair-ordered job queue: a data-local candidate (P = 1)
+// from the fairest job wins immediately; otherwise the highest-probability
+// candidate across jobs faces the P_min threshold and the Bernoulli draw.
+// Scanning past the head job mirrors how Hadoop's job-level scheduler
+// iterates jobs when the head job has nothing attractive for a node.
+func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
+	var best core.Choice
+	found := false
+	for _, j := range orderJobs(ctx, p.cfg.JobPolicy, mapKind) {
+		c, ok := core.SelectMapTask(p.env.Cost, j.PendingMaps(), node, ctx.AvailMapNodes)
+		if !ok {
+			continue
+		}
+		if c.Cost == 0 {
+			// Data-local placement for the fairest job that has one:
+			// assign instantly (Algorithm 1: P_mj = 1 when C = 0).
+			return c.MapTask
+		}
+		if !found || c.Saving() > best.Saving() {
+			best = c
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	prob := p.cfg.Model.Prob(best.AvgCost, best.Cost)
+	if prob < p.cfg.Pmin {
+		return nil // Algorithm 1 lines 10-12: skip this node
+	}
+	if p.cfg.Deterministic || p.env.RNG.Bernoulli(prob) {
+		return best.MapTask
+	}
+	return nil // Bernoulli declined: slot stays idle this round
+}
+
+// AssignReduce implements Algorithm 2 on the offered node, pooling
+// candidates across the fair-ordered job queue like AssignMap.
+func (p *Probabilistic) AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceTask {
+	// The first pass honours Algorithm 2 line 1 (no second running reduce
+	// of a job on one node); when that leaves the slot with no candidate
+	// at all — e.g. the batch tail, where a single job's reduces outnumber
+	// the cluster's nodes — a work-conserving second pass relaxes the
+	// rule, as any deployed scheduler must for jobs with more reduces than
+	// nodes.
+	best, found := p.selectReduce(ctx, node, p.cfg.SpreadReduces)
+	if !found && p.cfg.SpreadReduces {
+		best, found = p.selectReduce(ctx, node, false)
+	}
+	if !found {
+		return nil
+	}
+	prob := p.cfg.Model.Prob(best.AvgCost, best.Cost)
+	if prob < p.cfg.Pmin {
+		return nil // Algorithm 2 lines 11-13: skip this node
+	}
+	if p.cfg.Deterministic || p.env.RNG.Bernoulli(prob) {
+		return best.ReduceTask
+	}
+	return nil // Bernoulli declined: slot stays idle this round
+}
+
+func (p *Probabilistic) selectReduce(ctx *Context, node topology.NodeID, spread bool) (core.Choice, bool) {
+	var best core.Choice
+	found := false
+	for _, j := range orderJobs(ctx, p.cfg.JobPolicy, reduceKind) {
+		if spread && j.HasReduceOn(node) {
+			continue // Algorithm 2 line 1
+		}
+		rc := p.coster(j, ctx.Now)
+		c, ok := core.SelectReduceTask(rc, j.PendingReduces(), node, ctx.AvailReduceNodes)
+		if !ok {
+			continue
+		}
+		if !found || c.Saving() > best.Saving() {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,125 @@
+// Package sched implements the task-level schedulers compared in the
+// paper's evaluation:
+//
+//   - Probabilistic: the paper's contribution (Algorithms 1–2) — cost-based
+//     candidate selection with probabilistic assignment and a P_min gate.
+//   - FairDelay: Hadoop 1.2.1's Fair Scheduler with Delay Scheduling for
+//     map locality and random reduce placement.
+//   - Coupling: Tan et al.'s Coupling Scheduler — probabilistic map launch
+//     by locality degree, reduce launches paced by map progress and aimed
+//     at the data-"centrality" node with a bounded wait.
+//
+// All schedulers share the same job-level policy (fair ordering, as in the
+// paper's experiments; FIFO is available as an option) and are invoked by
+// the engine at heartbeat time with one offered node.
+package sched
+
+import (
+	"sort"
+
+	"mapsched/internal/core"
+	"mapsched/internal/job"
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+)
+
+// Env carries the long-lived dependencies a scheduler needs.
+type Env struct {
+	Net  topology.Network
+	Cost *core.CostModel
+	RNG  *sim.RNG
+}
+
+// Context is the cluster snapshot for one assignment decision. The engine
+// refreshes task progress (d_read, A_jf) before building it.
+type Context struct {
+	Now  sim.Time
+	Jobs []*job.Job // submitted, unfinished jobs in submission order
+
+	// AvailMapNodes / AvailReduceNodes list nodes that currently have at
+	// least one free slot of the kind (the N_m and N_r sets of
+	// Formulas 4–5). They include the offered node.
+	AvailMapNodes    []topology.NodeID
+	AvailReduceNodes []topology.NodeID
+
+	// Slowstart is the map-progress fraction a job must reach before its
+	// reduce tasks become schedulable (Hadoop's
+	// mapred.reduce.slowstart.completed.maps, default 0.05).
+	Slowstart float64
+}
+
+// Scheduler decides task placements when a node offers free slots.
+// Returning nil leaves the slot idle until a later heartbeat.
+type Scheduler interface {
+	Name() string
+	AssignMap(ctx *Context, node topology.NodeID) *job.MapTask
+	AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceTask
+}
+
+// Builder constructs a scheduler bound to a simulation's environment.
+type Builder func(Env) Scheduler
+
+// JobPolicy orders jobs for task-level scheduling.
+type JobPolicy int
+
+// Job-level policies.
+const (
+	// FairJobs orders jobs by fewest running tasks of the requested kind
+	// (Hadoop Fair Scheduler's equal-share special case, as used in the
+	// paper's experiments), breaking ties by submission order.
+	FairJobs JobPolicy = iota
+	// FIFOJobs orders jobs strictly by submission order.
+	FIFOJobs
+)
+
+// String names the policy.
+func (p JobPolicy) String() string {
+	if p == FIFOJobs {
+		return "fifo"
+	}
+	return "fair"
+}
+
+// taskKind selects which running-task count fair ordering uses.
+type taskKind int
+
+const (
+	mapKind taskKind = iota
+	reduceKind
+)
+
+// orderJobs returns ctx.Jobs sorted under the policy for the given kind,
+// considering only jobs that still have pending tasks of that kind.
+func orderJobs(ctx *Context, policy JobPolicy, kind taskKind) []*job.Job {
+	out := make([]*job.Job, 0, len(ctx.Jobs))
+	for _, j := range ctx.Jobs {
+		switch kind {
+		case mapKind:
+			if len(j.PendingMaps()) > 0 {
+				out = append(out, j)
+			}
+		case reduceKind:
+			if len(j.PendingReduces()) > 0 && reduceEligible(ctx, j) {
+				out = append(out, j)
+			}
+		}
+	}
+	if policy == FIFOJobs {
+		return out // ctx.Jobs is already in submission order
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ma, ra := out[a].RunningTasks()
+		mb, rb := out[b].RunningTasks()
+		if kind == mapKind {
+			return ma < mb
+		}
+		return ra < rb
+	})
+	return out
+}
+
+// reduceEligible applies the slowstart gate: a job's reduces may launch
+// only once enough map work has completed.
+func reduceEligible(ctx *Context, j *job.Job) bool {
+	return j.MapProgress() >= ctx.Slowstart
+}

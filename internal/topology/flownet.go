@@ -1,0 +1,349 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mapsched/internal/sim"
+)
+
+// LinkID identifies a directed link in a FlowNet.
+type LinkID int
+
+// Flow is a data transfer in progress. Exposed so callers can cancel
+// persistent background flows; regular transfers complete on their own.
+type Flow struct {
+	id         int64 // creation order; makes event scheduling deterministic
+	links      []LinkID
+	total      float64 // original size in bytes
+	remaining  float64 // bytes left; NaN-free, >= 0
+	rate       float64 // current max-min share, bytes/second
+	lastUpdate sim.Time
+	done       func()
+	doneEv     *sim.Event
+	persistent bool
+	finished   bool
+}
+
+// Rate returns the flow's current bandwidth share in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to transfer as of the last rate change.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Finished reports whether the flow has completed or been cancelled.
+func (f *Flow) Finished() bool { return f.finished }
+
+type link struct {
+	capacity float64
+	flows    map[*Flow]struct{}
+}
+
+// FlowNet is a flow-level network simulator: each active flow receives a
+// max-min fair share of the capacity of every directed link on its path,
+// and shares are recomputed whenever a flow starts or ends.
+type FlowNet struct {
+	eng   *sim.Engine
+	links []link
+	live  map[*Flow]struct{}
+	alpha float64 // congestion inefficiency; see Spec.CongestionAlpha
+
+	// stats
+	started   int64
+	completed int64
+	bytesDone float64
+}
+
+// NewFlowNet returns an empty network bound to eng.
+func NewFlowNet(eng *sim.Engine) *FlowNet {
+	return &FlowNet{eng: eng, live: make(map[*Flow]struct{})}
+}
+
+// SetCongestionAlpha sets the goodput-degradation coefficient: a link
+// with n concurrent flows delivers capacity/(1 + alpha·(n−1)).
+func (n *FlowNet) SetCongestionAlpha(alpha float64) {
+	if alpha < 0 {
+		alpha = 0
+	}
+	n.alpha = alpha
+}
+
+// effCapacity returns a link's aggregate goodput when carrying n flows.
+func (n *FlowNet) effCapacity(l int, flows int) float64 {
+	c := n.links[l].capacity
+	if n.alpha == 0 || flows <= 1 {
+		return c
+	}
+	return c / (1 + n.alpha*float64(flows-1))
+}
+
+// AddLink creates a directed link with the given capacity (bytes/second).
+func (n *FlowNet) AddLink(capacity float64) LinkID {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("topology: link capacity %v must be positive", capacity))
+	}
+	n.links = append(n.links, link{capacity: capacity, flows: make(map[*Flow]struct{})})
+	return LinkID(len(n.links) - 1)
+}
+
+// LinkFlowCount returns the number of active flows on l.
+func (n *FlowNet) LinkFlowCount(l LinkID) int { return len(n.links[l].flows) }
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *FlowNet) ActiveFlows() int { return len(n.live) }
+
+// Completed returns the number of flows that finished normally.
+func (n *FlowNet) Completed() int64 { return n.completed }
+
+// BytesDelivered returns total bytes carried by completed flows.
+func (n *FlowNet) BytesDelivered() float64 { return n.bytesDone }
+
+// StartFlow begins transferring bytes across the given path and calls done
+// (if non-nil) at completion. Zero or negative sizes complete immediately
+// via a zero-delay event so callbacks still run in event order.
+func (n *FlowNet) StartFlow(path []LinkID, bytes float64, done func()) *Flow {
+	if len(path) == 0 {
+		panic("topology: StartFlow with empty path; use LocalTransfer")
+	}
+	f := &Flow{id: n.started, links: path, total: bytes, remaining: bytes, done: done, lastUpdate: n.eng.Now()}
+	n.started++
+	if bytes <= 0 {
+		f.finished = true
+		n.completed++
+		n.eng.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return f
+	}
+	for _, l := range path {
+		n.links[l].flows[f] = struct{}{}
+	}
+	n.live[f] = struct{}{}
+	n.recompute()
+	return f
+}
+
+// StartPersistentFlow begins a background flow that never completes (until
+// cancelled) and always consumes its fair share on the path.
+func (n *FlowNet) StartPersistentFlow(path []LinkID) *Flow {
+	f := &Flow{id: n.started, links: path, remaining: math.Inf(1), persistent: true, lastUpdate: n.eng.Now()}
+	for _, l := range path {
+		n.links[l].flows[f] = struct{}{}
+	}
+	n.live[f] = struct{}{}
+	n.started++
+	n.recompute()
+	return f
+}
+
+// LocalTransfer models a same-node disk read at the given bandwidth; it
+// does not contend with network flows.
+func (n *FlowNet) LocalTransfer(bytes, diskBps float64, done func()) *Flow {
+	if diskBps <= 0 {
+		panic(fmt.Sprintf("topology: disk bandwidth %v must be positive", diskBps))
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	f := &Flow{total: bytes, remaining: bytes, rate: diskBps, lastUpdate: n.eng.Now()}
+	n.started++
+	n.eng.After(bytes/diskBps, func() {
+		f.finished = true
+		f.remaining = 0
+		n.completed++
+		n.bytesDone += bytes
+		if done != nil {
+			done()
+		}
+	})
+	return f
+}
+
+// Cancel removes a flow (typically persistent cross-traffic) from the
+// network without invoking its completion callback.
+func (n *FlowNet) Cancel(f *Flow) {
+	if f == nil || f.finished {
+		return
+	}
+	n.settle(f)
+	f.finished = true
+	n.detach(f)
+	n.recompute()
+}
+
+// detach removes f from its links and the live set and drops its pending
+// completion event.
+func (n *FlowNet) detach(f *Flow) {
+	for _, l := range f.links {
+		delete(n.links[l].flows, f)
+	}
+	delete(n.live, f)
+	if f.doneEv != nil {
+		f.doneEv.Cancel()
+		n.eng.Remove(f.doneEv)
+		f.doneEv = nil
+	}
+}
+
+// settle charges progress made at the current rate since the last update.
+func (n *FlowNet) settle(f *Flow) {
+	now := n.eng.Now()
+	if f.persistent {
+		f.lastUpdate = now
+		return
+	}
+	elapsed := float64(now - f.lastUpdate)
+	if elapsed > 0 && f.rate > 0 {
+		f.remaining -= f.rate * elapsed
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastUpdate = now
+}
+
+// recompute runs progressive filling (max-min fairness) over all live
+// flows, then reschedules each flow's completion event. Flows are handled
+// in creation order so that simultaneous completions fire in a
+// deterministic sequence regardless of map iteration order.
+func (n *FlowNet) recompute() {
+	if len(n.live) == 0 {
+		return
+	}
+	ordered := make([]*Flow, 0, len(n.live))
+	for f := range n.live {
+		ordered = append(ordered, f)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].id < ordered[b].id })
+
+	// Settle progress under old rates before assigning new ones.
+	for _, f := range ordered {
+		n.settle(f)
+	}
+
+	// Progressive filling.
+	remCap := make([]float64, len(n.links))
+	cnt := make([]int, len(n.links))
+	for i := range n.links {
+		cnt[i] = len(n.links[i].flows)
+		remCap[i] = n.effCapacity(i, cnt[i])
+	}
+	unfrozen := make(map[*Flow]struct{}, len(n.live))
+	for f := range n.live {
+		unfrozen[f] = struct{}{}
+	}
+	for len(unfrozen) > 0 {
+		// Find the most constrained link among links carrying unfrozen flows.
+		best := -1
+		bestShare := math.Inf(1)
+		for i := range n.links {
+			if cnt[i] == 0 {
+				continue
+			}
+			share := remCap[i] / float64(cnt[i])
+			if share < bestShare {
+				bestShare = share
+				best = i
+			}
+		}
+		if best < 0 {
+			// No unfrozen flow crosses any link (cannot happen: every live
+			// flow has a non-empty path), but guard against livelock.
+			for f := range unfrozen {
+				f.rate = 0
+				delete(unfrozen, f)
+			}
+			break
+		}
+		// Freeze every unfrozen flow on the bottleneck at the fair share.
+		for f := range n.links[best].flows {
+			if _, ok := unfrozen[f]; !ok {
+				continue
+			}
+			f.rate = bestShare
+			delete(unfrozen, f)
+			for _, l := range f.links {
+				remCap[l] -= bestShare
+				if remCap[l] < 0 {
+					remCap[l] = 0 // guard float error
+				}
+				cnt[l]--
+			}
+		}
+	}
+
+	// Reschedule completions under the new rates. Physically remove stale
+	// events so long shuffle phases do not bloat the event heap.
+	for _, f := range ordered {
+		if f.doneEv != nil {
+			f.doneEv.Cancel()
+			n.eng.Remove(f.doneEv)
+			f.doneEv = nil
+		}
+		if f.persistent {
+			continue
+		}
+		if f.rate <= 0 {
+			continue // will be rescheduled when contention clears
+		}
+		ff := f
+		f.doneEv = n.eng.After(f.remaining/f.rate, func() { n.finish(ff) })
+	}
+}
+
+// finish completes a flow and triggers its callback.
+func (n *FlowNet) finish(f *Flow) {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	f.remaining = 0
+	n.completed++
+	n.bytesDone += f.total
+	n.detach(f)
+	// Recompute before the callback so any transfers the callback starts
+	// see post-departure shares.
+	n.recompute()
+	if f.done != nil {
+		f.done()
+	}
+}
+
+// ProspectiveRate estimates the max-min share a new flow on path would
+// receive: the minimum over path links of capacity/(flows+1). This is the
+// "path transmission rate" observation of Section II-B-3.
+func (n *FlowNet) ProspectiveRate(path []LinkID) float64 {
+	rate := math.Inf(1)
+	for _, l := range path {
+		flows := len(n.links[l].flows) + 1
+		r := n.effCapacity(int(l), flows) / float64(flows)
+		if r < rate {
+			rate = r
+		}
+	}
+	if math.IsInf(rate, 1) {
+		return 0
+	}
+	return rate
+}
+
+// CheckFeasible verifies that no link is oversubscribed: the sum of flow
+// rates on each link must not exceed its capacity (within tolerance).
+// Used by property tests.
+func (n *FlowNet) CheckFeasible() error {
+	const tol = 1e-6
+	for i := range n.links {
+		var sum float64
+		for f := range n.links[i].flows {
+			sum += f.rate
+		}
+		cap := n.effCapacity(i, len(n.links[i].flows))
+		if sum > cap*(1+tol) {
+			return fmt.Errorf("link %d oversubscribed: %v > %v", i, sum, cap)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package topology models the cluster network: node/rack structure, the
+// hop-distance matrix H consumed by the paper's cost formulas, and a
+// flow-level network simulator that assigns max-min fair bandwidth shares
+// to concurrent transfers.
+//
+// Two concrete topologies are provided:
+//
+//   - Cluster: a hierarchical rack/core topology (hosts → top-of-rack →
+//     core) matching the Palmetto testbed layout in Section III of the
+//     paper. Transfers become flows across directed links with capacity
+//     sharing, so the "network condition" (path transmission rate) emerges
+//     from contention.
+//   - Matrix: an arbitrary distance matrix, used for unit tests and for
+//     reproducing the worked example of Fig. 2 exactly.
+package topology
+
+import (
+	"fmt"
+
+	"mapsched/internal/sim"
+)
+
+// NodeID identifies a data node (0-based, dense).
+type NodeID int
+
+// Network is the read-only view the scheduler's cost model needs: the
+// distance matrix H and rack membership for locality classification.
+type Network interface {
+	// Size returns the number of data nodes.
+	Size() int
+	// Distance returns the entry h_ab of the distance matrix: 0 for a==b,
+	// and a positive path length otherwise. Units are "hops" for the
+	// default mode, or any consistent cost unit.
+	Distance(a, b NodeID) float64
+	// Rack returns the rack index of node a.
+	Rack(a NodeID) int
+}
+
+// RateObserver reports the transmission rate (bytes/second) a new transfer
+// from a to b would currently obtain. Section II-B-3 of the paper replaces
+// h_ab with the inverse of this rate to make the cost bandwidth-aware.
+type RateObserver interface {
+	PathRate(a, b NodeID) float64
+}
+
+// Transferer starts data movements in simulated time.
+type Transferer interface {
+	// Transfer moves bytes from src to dst and invokes done on completion.
+	// A transfer with src == dst is a local disk read. Zero-byte transfers
+	// complete on the next event cycle.
+	Transfer(src, dst NodeID, bytes float64, done func()) *Flow
+}
+
+// Spec configures a hierarchical Cluster topology.
+type Spec struct {
+	Racks         int     // number of racks (>= 1)
+	NodesPerRack  int     // hosts per rack (>= 1)
+	HostLinkBps   float64 // host <-> ToR capacity, bytes/second each direction
+	TorUplinkBps  float64 // ToR <-> core capacity, bytes/second each direction
+	DiskBps       float64 // local read bandwidth, bytes/second
+	SameRackDist  float64 // H entry for two distinct hosts in one rack (default 2)
+	CrossRackDist float64 // H entry for hosts in different racks (default 4)
+
+	// CongestionAlpha models goodput degradation under flow concurrency
+	// (TCP incast, interrupt and disk-seek overheads): a link carrying n
+	// flows delivers capacity/(1 + alpha·(n−1)) in aggregate. Zero (the
+	// default) gives ideal lossless sharing.
+	CongestionAlpha float64
+}
+
+// DefaultSpec mirrors the paper's testbed shape: 60 nodes in a single rack
+// with gigabit-class host links and a 10 GbE uplink.
+func DefaultSpec() Spec {
+	return Spec{
+		Racks:         1,
+		NodesPerRack:  60,
+		HostLinkBps:   125e6,  // 1 Gb/s
+		TorUplinkBps:  1250e6, // 10 Gb/s
+		DiskBps:       400e6,  // local disk read
+		SameRackDist:  2,
+		CrossRackDist: 4,
+	}
+}
+
+func (s *Spec) normalize() error {
+	if s.Racks < 1 {
+		return fmt.Errorf("topology: Racks = %d, need >= 1", s.Racks)
+	}
+	if s.NodesPerRack < 1 {
+		return fmt.Errorf("topology: NodesPerRack = %d, need >= 1", s.NodesPerRack)
+	}
+	if s.HostLinkBps <= 0 {
+		return fmt.Errorf("topology: HostLinkBps = %v, need > 0", s.HostLinkBps)
+	}
+	if s.TorUplinkBps <= 0 {
+		return fmt.Errorf("topology: TorUplinkBps = %v, need > 0", s.TorUplinkBps)
+	}
+	if s.DiskBps <= 0 {
+		return fmt.Errorf("topology: DiskBps = %v, need > 0", s.DiskBps)
+	}
+	if s.SameRackDist == 0 {
+		s.SameRackDist = 2
+	}
+	if s.CrossRackDist == 0 {
+		s.CrossRackDist = 4
+	}
+	if s.SameRackDist < 0 || s.CrossRackDist < 0 {
+		return fmt.Errorf("topology: negative distances")
+	}
+	if s.CrossRackDist < s.SameRackDist {
+		return fmt.Errorf("topology: CrossRackDist %v < SameRackDist %v",
+			s.CrossRackDist, s.SameRackDist)
+	}
+	if s.CongestionAlpha < 0 {
+		return fmt.Errorf("topology: negative CongestionAlpha")
+	}
+	return nil
+}
+
+// Cluster is a hierarchical host/ToR/core topology with a flow-level
+// bandwidth-sharing network.
+type Cluster struct {
+	spec Spec
+	n    int
+	net  *FlowNet
+
+	hostUp   []LinkID // host i -> its ToR
+	hostDown []LinkID // ToR -> host i
+	torUp    []LinkID // rack r ToR -> core
+	torDown  []LinkID // core -> rack r ToR
+}
+
+var (
+	_ Network      = (*Cluster)(nil)
+	_ RateObserver = (*Cluster)(nil)
+	_ Transferer   = (*Cluster)(nil)
+)
+
+// NewCluster builds the topology and its flow network on eng.
+func NewCluster(eng *sim.Engine, spec Spec) (*Cluster, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		spec: spec,
+		n:    spec.Racks * spec.NodesPerRack,
+		net:  NewFlowNet(eng),
+	}
+	c.net.SetCongestionAlpha(spec.CongestionAlpha)
+	c.hostUp = make([]LinkID, c.n)
+	c.hostDown = make([]LinkID, c.n)
+	for i := 0; i < c.n; i++ {
+		c.hostUp[i] = c.net.AddLink(spec.HostLinkBps)
+		c.hostDown[i] = c.net.AddLink(spec.HostLinkBps)
+	}
+	c.torUp = make([]LinkID, spec.Racks)
+	c.torDown = make([]LinkID, spec.Racks)
+	for r := 0; r < spec.Racks; r++ {
+		c.torUp[r] = c.net.AddLink(spec.TorUplinkBps)
+		c.torDown[r] = c.net.AddLink(spec.TorUplinkBps)
+	}
+	return c, nil
+}
+
+// Size returns the number of hosts.
+func (c *Cluster) Size() int { return c.n }
+
+// Rack returns the rack index of node a.
+func (c *Cluster) Rack(a NodeID) int { return int(a) / c.spec.NodesPerRack }
+
+// Spec returns the configuration the cluster was built with.
+func (c *Cluster) Spec() Spec { return c.spec }
+
+// Distance returns the H-matrix entry between two hosts: 0 (same node),
+// SameRackDist, or CrossRackDist.
+func (c *Cluster) Distance(a, b NodeID) float64 {
+	switch {
+	case a == b:
+		return 0
+	case c.Rack(a) == c.Rack(b):
+		return c.spec.SameRackDist
+	default:
+		return c.spec.CrossRackDist
+	}
+}
+
+// path returns the directed links a transfer from a to b traverses.
+// Same-node transfers have no network path.
+func (c *Cluster) path(a, b NodeID) []LinkID {
+	if a == b {
+		return nil
+	}
+	if c.Rack(a) == c.Rack(b) {
+		return []LinkID{c.hostUp[a], c.hostDown[b]}
+	}
+	return []LinkID{c.hostUp[a], c.torUp[c.Rack(a)], c.torDown[c.Rack(b)], c.hostDown[b]}
+}
+
+// PathRate returns the max-min share a new flow from a to b would obtain
+// right now, in bytes/second. For a == b it returns the disk bandwidth.
+func (c *Cluster) PathRate(a, b NodeID) float64 {
+	if a == b {
+		return c.spec.DiskBps
+	}
+	return c.net.ProspectiveRate(c.path(a, b))
+}
+
+// Transfer moves bytes from src to dst. Remote transfers become flows in
+// the shared network; local transfers are limited by disk bandwidth.
+func (c *Cluster) Transfer(src, dst NodeID, bytes float64, done func()) *Flow {
+	if src == dst {
+		return c.net.LocalTransfer(bytes, c.spec.DiskBps, done)
+	}
+	return c.net.StartFlow(c.path(src, dst), bytes, done)
+}
+
+// InjectCrossTraffic starts a permanent background flow between two hosts
+// consuming bandwidth on their path; used by the network-condition
+// experiments. It returns the flow so callers can cancel it.
+func (c *Cluster) InjectCrossTraffic(src, dst NodeID) *Flow {
+	if src == dst {
+		return nil
+	}
+	return c.net.StartPersistentFlow(c.path(src, dst))
+}
+
+// Net exposes the underlying flow network (for tests and metrics).
+func (c *Cluster) Net() *FlowNet { return c.net }

@@ -1,0 +1,148 @@
+// Package trace exports simulation timelines as JSON for external
+// analysis and visualization: one record per job and per task with
+// placement, locality and phase timestamps.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mapsched/internal/job"
+)
+
+// Task is one executed task in the timeline.
+type Task struct {
+	Job      string  `json:"job"`
+	Kind     string  `json:"kind"` // "map" or "reduce"
+	Index    int     `json:"index"`
+	Node     int     `json:"node"`
+	Locality string  `json:"locality"`
+	Launch   float64 `json:"launch"`
+	Finish   float64 `json:"finish"`
+
+	// Map-only: input bytes; reduce-only: shuffled bytes.
+	Bytes float64 `json:"bytes"`
+}
+
+// Job is one job's summary in the timeline.
+type Job struct {
+	Name       string  `json:"name"`
+	Submit     float64 `json:"submit"`
+	Finish     float64 `json:"finish"` // 0 when unfinished
+	Maps       int     `json:"maps"`
+	Reduces    int     `json:"reduces"`
+	InputBytes float64 `json:"inputBytes"`
+}
+
+// Trace is a whole run's timeline.
+type Trace struct {
+	Scheduler string `json:"scheduler"`
+	Jobs      []Job  `json:"jobs"`
+	Tasks     []Task `json:"tasks"`
+}
+
+// FromJobs builds a trace from the simulation's job objects after a run.
+// Tasks still pending at the horizon are omitted.
+func FromJobs(scheduler string, jobs []*job.Job) *Trace {
+	t := &Trace{Scheduler: scheduler}
+	for _, j := range jobs {
+		t.Jobs = append(t.Jobs, Job{
+			Name:       j.Spec.Name,
+			Submit:     float64(j.Submitted),
+			Finish:     float64(j.Finished),
+			Maps:       j.NumMaps(),
+			Reduces:    j.NumReduces(),
+			InputBytes: j.Spec.InputBytes,
+		})
+		for _, m := range j.Maps {
+			if m.State == job.TaskPending {
+				continue
+			}
+			t.Tasks = append(t.Tasks, Task{
+				Job:      j.Spec.Name,
+				Kind:     "map",
+				Index:    m.Index,
+				Node:     int(m.Node),
+				Locality: m.Locality.String(),
+				Launch:   float64(m.Launch),
+				Finish:   float64(m.Finish),
+				Bytes:    m.Size,
+			})
+		}
+		for _, r := range j.Reduces {
+			if r.State == job.TaskPending {
+				continue
+			}
+			t.Tasks = append(t.Tasks, Task{
+				Job:      j.Spec.Name,
+				Kind:     "reduce",
+				Index:    r.Index,
+				Node:     int(r.Node),
+				Locality: r.Locality.String(),
+				Launch:   float64(r.Launch),
+				Finish:   float64(r.Finish),
+				Bytes:    r.ShuffledBytes,
+			})
+		}
+	}
+	sort.Slice(t.Tasks, func(a, b int) bool {
+		if t.Tasks[a].Launch != t.Tasks[b].Launch {
+			return t.Tasks[a].Launch < t.Tasks[b].Launch
+		}
+		if t.Tasks[a].Job != t.Tasks[b].Job {
+			return t.Tasks[a].Job < t.Tasks[b].Job
+		}
+		if t.Tasks[a].Kind != t.Tasks[b].Kind {
+			return t.Tasks[a].Kind < t.Tasks[b].Kind
+		}
+		return t.Tasks[a].Index < t.Tasks[b].Index
+	})
+	return t
+}
+
+// WriteJSON writes the trace with stable formatting.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &t, nil
+}
+
+// Span returns the time range covered by the trace's tasks.
+func (t *Trace) Span() (start, end float64) {
+	first := true
+	for _, task := range t.Tasks {
+		if first || task.Launch < start {
+			start = task.Launch
+		}
+		if first || task.Finish > end {
+			end = task.Finish
+		}
+		first = false
+	}
+	return start, end
+}
+
+// NodeTimeline returns the tasks that ran on one node, in launch order.
+func (t *Trace) NodeTimeline(node int) []Task {
+	var out []Task
+	for _, task := range t.Tasks {
+		if task.Node == node {
+			out = append(out, task)
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package mapsched is a simulation library reproducing "Probabilistic
+// Network-Aware Task Placement for MapReduce Scheduling" (Shen, Sarker,
+// Yu, Deng — IEEE CLUSTER 2016).
+//
+// It bundles a deterministic discrete-event MapReduce cluster simulator —
+// network topology with max-min fair bandwidth sharing, an HDFS-style
+// replicated block store, slot-based TaskTrackers with heartbeats — and
+// three task-level schedulers: the paper's probabilistic network-aware
+// scheduler (Algorithms 1–2), Hadoop's Fair Scheduler with Delay
+// Scheduling, and the Coupling Scheduler baseline.
+//
+// Quick start:
+//
+//	cfg := mapsched.DefaultClusterConfig()
+//	res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Wordcount),
+//	        mapsched.SchedulerProbabilistic, mapsched.WithSeed(1))
+//	if err != nil { ... }
+//	fmt.Println(res.JobCompletionCDF().Quantile(0.5))
+//
+// The internal/experiments package (driven by cmd/experiments and the
+// root-level benchmarks) regenerates every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md.
+package mapsched
+
+import (
+	"fmt"
+
+	"mapsched/internal/core"
+	"mapsched/internal/engine"
+	"mapsched/internal/experiments"
+	"mapsched/internal/hdfs"
+	"mapsched/internal/sched"
+	"mapsched/internal/trace"
+	"mapsched/internal/workload"
+)
+
+// SchedulerKind selects one of the three schedulers the paper compares.
+type SchedulerKind = experiments.SchedulerKind
+
+// Scheduler kinds.
+const (
+	SchedulerProbabilistic = experiments.Probabilistic
+	SchedulerCoupling      = experiments.Coupling
+	SchedulerFair          = experiments.Fair
+)
+
+// Kind is a workload application class (Wordcount, Terasort, Grep).
+type Kind = workload.Kind
+
+// Workload classes of Table II.
+const (
+	Wordcount = workload.Wordcount
+	Terasort  = workload.Terasort
+	Grep      = workload.Grep
+)
+
+// JobDef is one Table II row; Result aggregates a run's metrics.
+type (
+	JobDef        = workload.JobDef
+	Result        = engine.Result
+	JobResult     = engine.JobResult
+	ClusterConfig = engine.Config
+)
+
+// CostMode selects hop-count or network-condition distances.
+type CostMode = core.Mode
+
+// Cost model modes (Section II-B).
+const (
+	ModeHops             = core.ModeHops
+	ModeNetworkCondition = core.ModeNetworkCondition
+)
+
+// DefaultClusterConfig returns the paper's testbed shape: 60 single-rack
+// nodes with 4 map and 2 reduce slots each, 3-second heartbeats, and
+// hop-count costs.
+func DefaultClusterConfig() ClusterConfig { return engine.DefaultConfig() }
+
+// TestbedSetup returns the calibrated experiment environment used to
+// regenerate the paper's tables and figures (shared-platform bandwidth,
+// network-condition cost mode, background cross-traffic); see DESIGN.md
+// for the calibration rationale.
+func TestbedSetup() experiments.Setup { return experiments.DefaultSetup() }
+
+// TableII returns all 30 job definitions of the paper's Table II.
+func TableII() []JobDef { return workload.TableII() }
+
+// Batch returns the 10-job batch of one application class.
+func Batch(k Kind) []JobDef { return workload.Batch(k) }
+
+// options collects Run's functional options.
+type options struct {
+	seed          int64
+	pmin          float64
+	scale         int
+	replication   int
+	estimator     core.Estimator
+	costMode      core.Mode
+	costModeSet   bool
+	crossTraffic  int
+	deterministic bool
+	storageSubset int
+}
+
+// Option customizes Run.
+type Option func(*options)
+
+// WithSeed fixes the run's random seed (default 1); identical seeds give
+// bit-identical results.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithPmin sets the probabilistic scheduler's threshold (default 0.4).
+func WithPmin(p float64) Option { return func(o *options) { o.pmin = p } }
+
+// WithScale divides workload sizes and task counts (default 6); 1
+// reproduces Table II counts exactly at full cost.
+func WithScale(s int) Option { return func(o *options) { o.scale = s } }
+
+// WithReplication sets the HDFS replication factor (default 2).
+func WithReplication(r int) Option { return func(o *options) { o.replication = r } }
+
+// WithEstimator overrides the intermediate-data estimator used by the
+// probabilistic scheduler (default: the paper's progress-scaled one).
+func WithEstimator(e core.Estimator) Option { return func(o *options) { o.estimator = e } }
+
+// WithCostMode selects hop-count or network-condition distances.
+func WithCostMode(m CostMode) Option {
+	return func(o *options) { o.costMode = m; o.costModeSet = true }
+}
+
+// WithCrossTraffic injects persistent background flows between random
+// node pairs.
+func WithCrossTraffic(n int) Option { return func(o *options) { o.crossTraffic = n } }
+
+// WithDeterministic replaces the Bernoulli assignment with greedy
+// minimum-cost assignment (the Section II-C ablation).
+func WithDeterministic() Option { return func(o *options) { o.deterministic = true } }
+
+// WithStorageSubset confines all input-block replicas to the first k
+// nodes, modelling NAS/SAN-style storage on a subset of the cluster (the
+// scenario the paper's introduction motivates).
+func WithStorageSubset(k int) Option { return func(o *options) { o.storageSubset = k } }
+
+// Trace is a JSON-exportable task timeline of a run.
+type Trace = trace.Trace
+
+// Run simulates the given jobs on a cluster under the chosen scheduler
+// and returns the collected metrics.
+func Run(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, error) {
+	res, _, err := RunWithTrace(cfg, defs, kind, opts...)
+	return res, err
+}
+
+// RunWithTrace is Run plus the task timeline of the simulation.
+func RunWithTrace(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, *Trace, error) {
+	o := options{seed: 1, pmin: 0.4, scale: 6, replication: 2}
+	for _, apply := range opts {
+		apply(&o)
+	}
+	if len(defs) == 0 {
+		return nil, nil, fmt.Errorf("mapsched: no jobs to run")
+	}
+	cfg.Seed = o.seed
+	if o.costModeSet {
+		cfg.CostMode = o.costMode
+	}
+	if o.crossTraffic > 0 {
+		cfg.CrossTraffic = o.crossTraffic
+	}
+	wo := workload.Options{
+		Scale:         o.scale,
+		Replication:   o.replication,
+		SubmitStagger: 1,
+	}
+	if o.storageSubset > 0 {
+		wo.Placement = hdfs.Subset{K: o.storageSubset}
+	}
+	specs, err := workload.Specs(defs, wo)
+	if err != nil {
+		return nil, nil, err
+	}
+	var builder sched.Builder
+	switch kind {
+	case experiments.Probabilistic:
+		pc := sched.DefaultProbabilisticConfig()
+		pc.Pmin = o.pmin
+		pc.Deterministic = o.deterministic
+		if o.estimator != nil {
+			pc.Estimator = o.estimator
+		}
+		builder = sched.NewProbabilistic(pc)
+	case experiments.Coupling:
+		builder = sched.NewCoupling(sched.DefaultCouplingConfig())
+	case experiments.Fair:
+		builder = sched.NewFairDelay(sched.DefaultFairDelayConfig())
+	default:
+		return nil, nil, fmt.Errorf("mapsched: unknown scheduler kind %v", kind)
+	}
+	sim, err := engine.New(cfg, specs, builder)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, sim.Trace(), nil
+}

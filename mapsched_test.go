@@ -1,0 +1,133 @@
+package mapsched
+
+import (
+	"testing"
+
+	"mapsched/internal/core"
+)
+
+func smallConfig() ClusterConfig {
+	cfg := DefaultClusterConfig()
+	cfg.Topology.NodesPerRack = 12
+	return cfg
+}
+
+func TestRunQuickstart(t *testing.T) {
+	res, err := Run(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
+		WithSeed(1), WithScale(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("unfinished jobs: %s", res)
+	}
+	if len(res.Jobs) != 10 {
+		t.Fatalf("%d jobs", len(res.Jobs))
+	}
+	if res.JobCompletionCDF().N() != 10 {
+		t.Fatal("completion CDF incomplete")
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, k := range []SchedulerKind{SchedulerProbabilistic, SchedulerCoupling, SchedulerFair} {
+		res, err := Run(smallConfig(), Batch(Grep), k, WithScale(30))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.Unfinished != 0 {
+			t.Fatalf("%v: unfinished", k)
+		}
+	}
+}
+
+func TestRunDeterministicSeeds(t *testing.T) {
+	run := func() float64 {
+		res, err := Run(smallConfig(), Batch(Terasort), SchedulerProbabilistic,
+			WithSeed(42), WithScale(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different makespans")
+	}
+}
+
+func TestRunOptions(t *testing.T) {
+	res, err := Run(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
+		WithScale(40), WithPmin(0.2), WithReplication(3),
+		WithEstimator(core.Oracle{}), WithCostMode(ModeNetworkCondition),
+		WithCrossTraffic(5), WithDeterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatal("unfinished with options")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(smallConfig(), nil, SchedulerProbabilistic); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := Run(smallConfig(), Batch(Grep), SchedulerKind(99), WithScale(40)); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	bad := DefaultClusterConfig()
+	bad.MapSlotsPerNode = 0
+	if _, err := Run(bad, Batch(Grep), SchedulerFair, WithScale(40)); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestTableIIPassthrough(t *testing.T) {
+	if len(TableII()) != 30 {
+		t.Fatal("TableII passthrough broken")
+	}
+	if len(Batch(Wordcount)) != 10 {
+		t.Fatal("Batch passthrough broken")
+	}
+	if TestbedSetup().Pmin != 0.4 {
+		t.Fatal("TestbedSetup Pmin != 0.4")
+	}
+}
+
+func TestRunWithStorageSubset(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg, Batch(Terasort), SchedulerProbabilistic,
+		WithSeed(2), WithScale(40), WithStorageSubset(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatal("unfinished with storage subset")
+	}
+	// With 12 nodes but storage on 3, most maps cannot be node-local.
+	if res.MapLocality.PercentNode() > 60 {
+		t.Fatalf("suspiciously high locality %v%% with subset storage",
+			res.MapLocality.PercentNode())
+	}
+}
+
+func TestRunWithTraceExport(t *testing.T) {
+	res, tr, err := RunWithTrace(smallConfig(), Batch(Grep), SchedulerFair,
+		WithSeed(3), WithScale(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || len(tr.Tasks) == 0 {
+		t.Fatal("empty trace")
+	}
+	wantTasks := 0
+	for _, j := range res.Jobs {
+		wantTasks += j.NumMaps + j.NumReduces
+	}
+	if len(tr.Tasks) != wantTasks {
+		t.Fatalf("trace has %d tasks, want %d", len(tr.Tasks), wantTasks)
+	}
+	if _, end := tr.Span(); end <= 0 {
+		t.Fatal("trace span empty")
+	}
+}
