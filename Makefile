@@ -1,0 +1,38 @@
+# Development entry points. `make check` is the full gate run before
+# committing: vet, build, the complete test suite under the race
+# detector, and a short benchmark smoke proving the perf-critical
+# benches still run. `make bench` regenerates BENCH_baseline.json.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench check experiments
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick smoke of the performance-critical benchmarks (fixed small
+# iteration counts; seconds, not minutes).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkCore_|BenchmarkTopology_FlowChurn' \
+		-benchmem -benchtime 200x .
+
+# Full benchmark pass; records results in BENCH_baseline.json.
+bench:
+	sh scripts/bench.sh
+
+check: vet build race bench-smoke
+
+# Regenerate the paper's tables and figures at the canonical scale.
+experiments:
+	$(GO) run ./cmd/experiments -run all -scale 3

@@ -14,6 +14,7 @@ package mapsched
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -219,9 +220,57 @@ func BenchmarkSimulation_Probabilistic(b *testing.B) {
 	benchBatchRun(b, experiments.Probabilistic)
 }
 
+// BenchmarkSimulation_ProbabilisticNaive is the reference path: same
+// batch, same decisions, but with every cost recomputed from scratch on
+// each scheduling round (ProbabilisticConfig.Naive). The gap to
+// BenchmarkSimulation_Probabilistic is the end-to-end win of the
+// incremental cost caches.
+func BenchmarkSimulation_ProbabilisticNaive(b *testing.B) {
+	s := benchSetup()
+	cfg := sched.DefaultProbabilisticConfig()
+	cfg.Pmin = s.Pmin
+	cfg.Naive = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunBatch(workload.Wordcount, sched.NewProbabilistic(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Unfinished != 0 {
+			b.Fatal("unfinished jobs under naive probabilistic")
+		}
+	}
+}
+
 func BenchmarkSimulation_Coupling(b *testing.B) { benchBatchRun(b, experiments.Coupling) }
 
 func BenchmarkSimulation_Fair(b *testing.B) { benchBatchRun(b, experiments.Fair) }
+
+// Macro benches of the parallel experiment harness: the full
+// three-scheduler x three-batch comparison, once with the worker pool at
+// GOMAXPROCS and once pinned to a single worker (the old sequential
+// behaviour). The ratio is the harness speedup on this machine.
+
+func benchComparisonRun(b *testing.B, workers int) {
+	s := benchSetup()
+	if workers > 0 {
+		experiments.SetMaxWorkers(workers)
+		defer experiments.SetMaxWorkers(runtime.GOMAXPROCS(0))
+	}
+	for i := 0; i < b.N; i++ {
+		c, err := s.RunComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(c.Results[experiments.Probabilistic].JobCompletionCDF().Mean(), "meanJCT_prob")
+		}
+	}
+}
+
+func BenchmarkSimulation_ComparisonParallel(b *testing.B) { benchComparisonRun(b, 0) }
+
+func BenchmarkSimulation_ComparisonSerial(b *testing.B) { benchComparisonRun(b, 1) }
 
 // Ablation benches (design choices called out in DESIGN.md).
 
@@ -312,6 +361,22 @@ func BenchmarkCore_ReduceCosterBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkCore_ReduceCosterRefresh measures the incremental update after
+// one map's progress changed — the per-heartbeat cost of keeping the
+// shuffle matrix current, vs rebuilding it (BenchmarkCore_ReduceCosterBuild).
+func BenchmarkCore_ReduceCosterRefresh(b *testing.B) {
+	cm, j := microFixture(b)
+	rc := cm.NewReduceCoster(j, core.ProgressScaled{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := j.Maps[i%len(j.Maps)]
+		m.State = job.TaskRunning
+		m.Progress = 0.5 + 0.4*float64(i%2)
+		rc.Refresh()
+	}
+}
+
 func BenchmarkCore_ReduceCostEval(b *testing.B) {
 	cm, j := microFixture(b)
 	rc := cm.NewReduceCoster(j, core.ProgressScaled{})
@@ -322,7 +387,7 @@ func BenchmarkCore_ReduceCostEval(b *testing.B) {
 	}
 }
 
-func BenchmarkCore_SelectMapTask(b *testing.B) {
+func benchSelectMapTask(b *testing.B, cached bool) {
 	cm, j := microFixture(b)
 	for _, m := range j.Maps {
 		m.State = job.TaskPending
@@ -333,14 +398,25 @@ func BenchmarkCore_SelectMapTask(b *testing.B) {
 	for i := range avail {
 		avail[i] = topology.NodeID(i)
 	}
+	var ev core.MapCostEvaluator = cm.Evaluator()
+	if cached {
+		ev = cm.NewMapCoster()
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := core.SelectMapTask(cm, j.Maps, topology.NodeID(i%60), avail); !ok {
+		if _, ok := core.SelectMapTaskWith(ev, j.Maps, topology.NodeID(i%60), avail); !ok {
 			b.Fatal("no candidate")
 		}
 	}
 }
+
+// BenchmarkCore_SelectMapTask runs Algorithm 1 through the MapCoster (the
+// production path); the Naive variant recomputes every replica distance
+// and cluster average per offer, as the seed implementation did.
+func BenchmarkCore_SelectMapTask(b *testing.B) { benchSelectMapTask(b, true) }
+
+func BenchmarkCore_SelectMapTaskNaive(b *testing.B) { benchSelectMapTask(b, false) }
 
 func BenchmarkCore_AssignProb(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -348,12 +424,13 @@ func BenchmarkCore_AssignProb(b *testing.B) {
 	}
 }
 
-func BenchmarkTopology_FlowChurn(b *testing.B) {
+func benchFlowChurn(b *testing.B, forceFull bool) {
 	eng := sim.NewEngine()
 	net, err := topology.NewCluster(eng, topology.DefaultSpec())
 	if err != nil {
 		b.Fatal(err)
 	}
+	net.Net().SetForceFullRecompute(forceFull)
 	rng := sim.NewRNG(3)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -368,7 +445,18 @@ func BenchmarkTopology_FlowChurn(b *testing.B) {
 	if _, err := eng.RunAll(); err != nil {
 		b.Fatal(err)
 	}
+	if !forceFull {
+		b.ReportMetric(float64(net.Net().IncrementalRecomputes()), "inc_recomputes")
+	}
 }
+
+// BenchmarkTopology_FlowChurn exercises max-min share recomputation under
+// flow start/finish churn with the incremental component-local pass; the
+// Full variant forces the old whole-network progressive filling on every
+// churn event.
+func BenchmarkTopology_FlowChurn(b *testing.B) { benchFlowChurn(b, false) }
+
+func BenchmarkTopology_FlowChurnFull(b *testing.B) { benchFlowChurn(b, true) }
 
 func BenchmarkSim_ScheduleStep(b *testing.B) {
 	eng := sim.NewEngine()

@@ -4,11 +4,14 @@
 // Usage:
 //
 //	experiments [-run all|tableII|fig3|fig4|fig5|fig6|tableIII|fig7|util|pmin|ablations]
-//	            [-scale N] [-seed N] [-pmin P]
+//	            [-scale N] [-seed N] [-pmin P] [-workers N]
 //
 // -scale divides workload sizes and task counts; 1 reproduces Table II's
 // exact task counts (slow), 3 is the canonical setting used for
-// EXPERIMENTS.md, 12 is a quick smoke run.
+// EXPERIMENTS.md, 12 is a quick smoke run. -workers bounds how many
+// simulations run concurrently (default GOMAXPROCS); results are
+// identical for any worker count since every simulation is independent
+// and deterministic in its seed.
 package main
 
 import (
@@ -23,13 +26,17 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment to run")
-		scale = flag.Int("scale", 3, "workload scale divisor (1 = exact Table II counts)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		pmin  = flag.Float64("pmin", 0.4, "probability threshold P_min")
+		run     = flag.String("run", "all", "experiment to run")
+		scale   = flag.Int("scale", 3, "workload scale divisor (1 = exact Table II counts)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		pmin    = flag.Float64("pmin", 0.4, "probability threshold P_min")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	if *workers > 0 {
+		experiments.SetMaxWorkers(*workers)
+	}
 	s := experiments.DefaultSetup()
 	s.Workload.Scale = *scale
 	s.Engine.Seed = *seed

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"mapsched/internal/hdfs"
 	"mapsched/internal/job"
@@ -80,6 +81,29 @@ func (c *CostModel) Distance(a, b topology.NodeID) float64 {
 	}
 }
 
+// epochObserver is implemented by rate observers whose PathRate output is
+// constant between advances of a counter (topology.Cluster exposes its
+// flow network's recompute epoch; topology.Matrix rates never change).
+type epochObserver interface {
+	Epoch() uint64
+}
+
+// DistanceEpoch returns a counter that advances whenever Distance may
+// return different values; ok reports whether such a signal exists. In hop
+// mode distances are static, so the epoch is constantly 0. In
+// network-condition mode the rate observer must expose an Epoch counter;
+// when it does not, ok is false and callers must treat every distance as
+// volatile (caching would change scheduling decisions).
+func (c *CostModel) DistanceEpoch() (uint64, bool) {
+	if c.mode != ModeNetworkCondition {
+		return 0, true
+	}
+	if eo, ok := c.rate.(epochObserver); ok {
+		return eo.Epoch(), true
+	}
+	return 0, false
+}
+
 // MapCost returns C_m(i,j) = B_j · min_{l: L_lj=1} h_il (Formula 1): the
 // cost of running map task m on node i, reading from the nearest replica.
 func (c *CostModel) MapCost(m *job.MapTask, i topology.NodeID) float64 {
@@ -130,21 +154,33 @@ func (c *CostModel) Locality(m *job.MapTask, i topology.NodeID) job.Locality {
 	return job.Remote
 }
 
-// ReduceCoster evaluates Formula 3 for one job at one scheduling instant.
-// It aggregates the estimated intermediate volume by map-hosting node
-// (S_pf = Σ_{maps j on p} Î_jf), so evaluating a candidate node costs
-// O(#map-nodes) rather than O(#maps).
+// ReduceCoster evaluates Formula 3 for one job. It aggregates the
+// estimated intermediate volume by map-hosting node (S_pf = Σ_{maps j on
+// p} Î_jf), so evaluating a candidate node costs O(#map-nodes) rather
+// than O(#maps). Nodes are kept in ascending NodeID order so that a fresh
+// build and an incrementally Refreshed coster are bit-identical.
 type ReduceCoster struct {
-	cm    *CostModel
-	j     *job.Job
-	est   Estimator
-	nodes []topology.NodeID // nodes hosting ≥1 launched map
-	s     [][]float64       // s[nodeIdx][f] = S_pf
+	cm   *CostModel
+	j    *job.Job
+	est  Estimator
+	scal ScalarEstimator // non-nil when est factors into Out[f]·Scale(m)
+
+	nodes   []topology.NodeID       // nodes hosting ≥1 launched map, ascending
+	idx     map[topology.NodeID]int // node → index into nodes/s/members
+	s       [][]float64             // s[pi][f] = S_pf
+	members [][]int                 // members[pi] = map indices on node pi, ascending
+
+	// Per-map snapshot consumed by Refresh to detect which rows changed.
+	lastNode  []topology.NodeID // node at last snapshot; -1 when excluded
+	lastScale []float64         // Scale(m) at last snapshot (scal only)
+	dirtyBuf  []topology.NodeID
 
 	// CostAvg cache: hSum[pi] = Σ_{k in avail} h(p_i, k) for the avail set
 	// last seen, so the average over candidate nodes is O(#map-nodes) per
-	// partition instead of O(#avail × #map-nodes).
+	// partition instead of O(#avail × #map-nodes). availEpoch records the
+	// distance epoch the sums were computed at.
 	availCache []topology.NodeID
+	availEpoch uint64
 	hSum       []float64
 }
 
@@ -153,25 +189,206 @@ type ReduceCoster struct {
 // matching Formula 2's use of the placement matrix X.
 func (c *CostModel) NewReduceCoster(j *job.Job, est Estimator) *ReduceCoster {
 	rc := &ReduceCoster{cm: c, j: j, est: est}
-	idx := make(map[topology.NodeID]int)
-	nf := j.NumReduces()
-	for _, m := range j.Maps {
+	rc.scal, _ = est.(ScalarEstimator)
+	rc.idx = make(map[topology.NodeID]int)
+	rc.lastNode = make([]topology.NodeID, len(j.Maps))
+	rc.lastScale = make([]float64, len(j.Maps))
+	rc.rebuild()
+	return rc
+}
+
+// Job returns the job this coster snapshots.
+func (rc *ReduceCoster) Job() *job.Job { return rc.j }
+
+// rebuild recomputes the whole snapshot from the job's current state.
+func (rc *ReduceCoster) rebuild() {
+	for p := range rc.idx {
+		delete(rc.idx, p)
+	}
+	rc.nodes = rc.nodes[:0]
+	rc.members = rc.members[:0]
+	for i, m := range rc.j.Maps {
 		if m.State == job.TaskPending || m.Node < 0 {
+			rc.lastNode[i] = -1
 			continue
 		}
-		pi, ok := idx[m.Node]
+		rc.lastNode[i] = m.Node
+		if rc.scal != nil {
+			rc.lastScale[i] = rc.scal.Scale(m)
+		}
+		pi, ok := rc.idx[m.Node]
 		if !ok {
 			pi = len(rc.nodes)
-			idx[m.Node] = pi
+			rc.idx[m.Node] = pi
 			rc.nodes = append(rc.nodes, m.Node)
-			rc.s = append(rc.s, make([]float64, nf))
+			rc.members = append(rc.members, nil)
 		}
-		row := rc.s[pi]
+		rc.members[pi] = append(rc.members[pi], i)
+	}
+	sort.Sort(byNode{rc})
+	rc.s = make([][]float64, len(rc.nodes))
+	nf := rc.j.NumReduces()
+	for pi, p := range rc.nodes {
+		rc.idx[p] = pi
+		rc.s[pi] = make([]float64, nf)
+		rc.computeRow(pi)
+	}
+	rc.availCache = nil
+}
+
+// byNode sorts the node list and the parallel member lists together.
+type byNode struct{ rc *ReduceCoster }
+
+func (b byNode) Len() int           { return len(b.rc.nodes) }
+func (b byNode) Less(i, j int) bool { return b.rc.nodes[i] < b.rc.nodes[j] }
+func (b byNode) Swap(i, j int) {
+	b.rc.nodes[i], b.rc.nodes[j] = b.rc.nodes[j], b.rc.nodes[i]
+	b.rc.members[i], b.rc.members[j] = b.rc.members[j], b.rc.members[i]
+}
+
+// computeRow re-aggregates S_pf for one node from its member maps in task
+// order. Both the full rebuild and the incremental Refresh funnel through
+// this function, so their float accumulation order — and hence every
+// derived cost — is identical.
+func (rc *ReduceCoster) computeRow(pi int) {
+	nf := rc.j.NumReduces()
+	row := rc.s[pi]
+	for f := range row {
+		row[f] = 0
+	}
+	if rc.scal != nil {
+		for _, mi := range rc.members[pi] {
+			m := rc.j.Maps[mi]
+			sc := rc.lastScale[mi]
+			for f := 0; f < nf; f++ {
+				row[f] += m.Out[f] * sc
+			}
+		}
+		return
+	}
+	for _, mi := range rc.members[pi] {
+		m := rc.j.Maps[mi]
 		for f := 0; f < nf; f++ {
-			row[f] += est.EstimateOutput(m, f)
+			row[f] += rc.est.EstimateOutput(m, f)
 		}
 	}
-	return rc
+}
+
+// Refresh brings the snapshot up to date with the job's current task
+// state. With a ScalarEstimator only the rows whose contributing maps
+// changed (progress advanced, launched, finished, moved by speculation or
+// failure) are re-aggregated; other estimators fall back to a full
+// rebuild. The refreshed coster is bit-identical to a fresh
+// NewReduceCoster of the same job state.
+func (rc *ReduceCoster) Refresh() {
+	if rc.scal == nil || len(rc.lastNode) != len(rc.j.Maps) {
+		rc.rebuild()
+		return
+	}
+	dirty := rc.dirtyBuf[:0]
+	structural := false
+	for i, m := range rc.j.Maps {
+		cur := topology.NodeID(-1)
+		if m.State != job.TaskPending && m.Node >= 0 {
+			cur = m.Node
+		}
+		if cur == rc.lastNode[i] {
+			if cur < 0 {
+				continue
+			}
+			if sc := rc.scal.Scale(m); sc != rc.lastScale[i] {
+				rc.lastScale[i] = sc
+				dirty = append(dirty, cur)
+			}
+			continue
+		}
+		if old := rc.lastNode[i]; old >= 0 {
+			pi := rc.idx[old]
+			rc.members[pi] = removeInt(rc.members[pi], i)
+			dirty = append(dirty, old)
+		}
+		if cur >= 0 {
+			pi, ok := rc.idx[cur]
+			if !ok {
+				pi = rc.insertNode(cur)
+				structural = true
+			}
+			rc.members[pi] = insertInt(rc.members[pi], i)
+			rc.lastScale[i] = rc.scal.Scale(m)
+			dirty = append(dirty, cur)
+		}
+		rc.lastNode[i] = cur
+	}
+	rc.dirtyBuf = dirty
+	if len(dirty) == 0 {
+		return
+	}
+	for _, p := range dirty {
+		if pi, ok := rc.idx[p]; ok && len(rc.members[pi]) == 0 {
+			rc.removeNode(pi)
+			structural = true
+		}
+	}
+	for _, p := range dirty {
+		if pi, ok := rc.idx[p]; ok {
+			rc.computeRow(pi)
+		}
+	}
+	if structural {
+		rc.availCache = nil // node set changed: hSum rows are stale
+	}
+}
+
+// insertNode splices a new node into the sorted node list and returns its
+// index.
+func (rc *ReduceCoster) insertNode(p topology.NodeID) int {
+	pi := sort.Search(len(rc.nodes), func(k int) bool { return rc.nodes[k] >= p })
+	rc.nodes = append(rc.nodes, 0)
+	copy(rc.nodes[pi+1:], rc.nodes[pi:])
+	rc.nodes[pi] = p
+	rc.members = append(rc.members, nil)
+	copy(rc.members[pi+1:], rc.members[pi:])
+	rc.members[pi] = nil
+	rc.s = append(rc.s, nil)
+	copy(rc.s[pi+1:], rc.s[pi:])
+	rc.s[pi] = make([]float64, rc.j.NumReduces())
+	for k := pi; k < len(rc.nodes); k++ {
+		rc.idx[rc.nodes[k]] = k
+	}
+	return pi
+}
+
+// removeNode drops the node at index pi, keeping the lists sorted.
+func (rc *ReduceCoster) removeNode(pi int) {
+	delete(rc.idx, rc.nodes[pi])
+	copy(rc.nodes[pi:], rc.nodes[pi+1:])
+	rc.nodes = rc.nodes[:len(rc.nodes)-1]
+	copy(rc.members[pi:], rc.members[pi+1:])
+	rc.members = rc.members[:len(rc.members)-1]
+	copy(rc.s[pi:], rc.s[pi+1:])
+	rc.s = rc.s[:len(rc.s)-1]
+	for k := pi; k < len(rc.nodes); k++ {
+		rc.idx[rc.nodes[k]] = k
+	}
+}
+
+// insertInt inserts v into sorted slice a.
+func insertInt(a []int, v int) []int {
+	k := sort.SearchInts(a, v)
+	a = append(a, 0)
+	copy(a[k+1:], a[k:])
+	a[k] = v
+	return a
+}
+
+// removeInt removes v from sorted slice a if present.
+func removeInt(a []int, v int) []int {
+	k := sort.SearchInts(a, v)
+	if k < len(a) && a[k] == v {
+		copy(a[k:], a[k+1:])
+		a = a[:len(a)-1]
+	}
+	return a
 }
 
 // Cost returns C_r(i,f) = Σ_p h_pi · S_pf (Formula 3) for reduce index f
@@ -188,13 +405,17 @@ func (rc *ReduceCoster) Cost(i topology.NodeID, f int) float64 {
 
 // CostAvg returns C_avg = Σ_k C_r(k,f) / N_r over nodes with free reduce
 // slots (Algorithm 2 line 7). Summation is reordered as
-// Σ_p S_pf · (Σ_k h_pk), with the inner distance sums cached per avail
-// set; the result is identical to averaging Cost over avail.
+// Σ_p S_pf · (Σ_k h_pk), with the inner distance sums cached per
+// (avail set, distance epoch); the result is identical to averaging Cost
+// over avail. When distances are volatile with no epoch signal the sums
+// are recomputed on every call.
 func (rc *ReduceCoster) CostAvg(f int, avail []topology.NodeID) float64 {
 	if len(avail) == 0 {
 		return 0
 	}
-	if !equalNodes(rc.availCache, avail) {
+	ep, epOK := rc.cm.DistanceEpoch()
+	if !epOK || ep != rc.availEpoch || len(rc.hSum) != len(rc.nodes) || !equalNodes(rc.availCache, avail) {
+		rc.availEpoch = ep
 		rc.availCache = append(rc.availCache[:0], avail...)
 		if cap(rc.hSum) < len(rc.nodes) {
 			rc.hSum = make([]float64, len(rc.nodes))
@@ -233,10 +454,8 @@ func equalNodes(a, b []topology.NodeID) bool {
 // OnNode returns S_if: the estimated bytes of partition f already resident
 // on node i (produced by maps that ran there).
 func (rc *ReduceCoster) OnNode(i topology.NodeID, f int) float64 {
-	for pi, p := range rc.nodes {
-		if p == i {
-			return rc.s[pi][f]
-		}
+	if pi, ok := rc.idx[i]; ok {
+		return rc.s[pi][f]
 	}
 	return 0
 }

@@ -1,6 +1,10 @@
 package core
 
-import "mapsched/internal/job"
+import (
+	"math"
+
+	"mapsched/internal/job"
+)
 
 // Estimator predicts the final intermediate volume I_jf a map task will
 // have produced for a reduce partition, from scheduler-visible progress
@@ -13,6 +17,22 @@ type Estimator interface {
 	EstimateOutput(m *job.MapTask, f int) float64
 	// Name identifies the estimator in experiment output.
 	Name() string
+}
+
+// ScalarEstimator marks estimators whose prediction factors into the
+// task's final output row times a per-task scalar:
+//
+//	EstimateOutput(m, f) ≡ m.Out[f] · Scale(m)
+//
+// The factorization lets ReduceCoster maintain its per-node aggregation
+// incrementally: when a map's progress changes, only its node's row needs
+// recomputation, at O(#reduces) per contributing map instead of a full
+// O(#maps × #reduces) re-aggregation. All built-in estimators factor this
+// way; custom estimators that do not simply fall back to full rebuilds.
+type ScalarEstimator interface {
+	Estimator
+	// Scale returns the per-task multiplier applied to m.Out.
+	Scale(m *job.MapTask) float64
 }
 
 // ProgressScaled is the paper's estimator: Î_jf = A_jf · B_j / d_read —
@@ -35,6 +55,18 @@ func (ProgressScaled) EstimateOutput(m *job.MapTask, f int) float64 {
 	return m.CurrentOut(f) * m.Size / d
 }
 
+// Scale implements ScalarEstimator: Î_jf/I_jf = p^γ · B_j / d_read.
+func (ProgressScaled) Scale(m *job.MapTask) float64 {
+	if m.State == job.TaskDone {
+		return 1
+	}
+	d := m.DRead()
+	if d <= 0 || m.Progress <= 0 {
+		return 0
+	}
+	return math.Pow(m.Progress, m.OutputCurve) * m.Size / d
+}
+
 // CurrentSize is the Coupling-scheduler baseline: use the in-progress
 // intermediate size A_jf as-is, with no scaling. The paper's Section
 // II-B-2 example shows how this mis-ranks placements when map progress is
@@ -55,6 +87,17 @@ func (CurrentSize) EstimateOutput(m *job.MapTask, f int) float64 {
 	return m.CurrentOut(f)
 }
 
+// Scale implements ScalarEstimator: A_jf/I_jf = p^γ.
+func (CurrentSize) Scale(m *job.MapTask) float64 {
+	if m.State == job.TaskDone {
+		return 1
+	}
+	if m.DRead() <= 0 || m.Progress <= 0 {
+		return 0
+	}
+	return math.Pow(m.Progress, m.OutputCurve)
+}
+
 // Oracle returns the ground-truth I_jf. It is not realizable in a real
 // cluster and exists only as the upper bound for the estimator ablation.
 type Oracle struct{}
@@ -64,3 +107,6 @@ func (Oracle) Name() string { return "oracle" }
 
 // EstimateOutput implements Estimator.
 func (Oracle) EstimateOutput(m *job.MapTask, f int) float64 { return m.Out[f] }
+
+// Scale implements ScalarEstimator.
+func (Oracle) Scale(*job.MapTask) float64 { return 1 }

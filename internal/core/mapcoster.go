@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+
+	"mapsched/internal/hdfs"
+	"mapsched/internal/job"
+	"mapsched/internal/topology"
+)
+
+// MapCoster caches Formula 1 evaluations across scheduling rounds. For
+// each input block it precomputes the nearest-replica distance
+// min_{l: L_lj=1} h_il for every candidate node, and for the avail-node
+// set of the current round it caches the per-block cost sum feeding
+// C_avg. Replica sets are immutable once a block is placed, so a row only
+// goes stale when the distance matrix itself changes — which the
+// CostModel's DistanceEpoch signals exactly (hop distances never change;
+// network-condition distances change precisely when the flow network
+// recomputes rates). Every value it returns is bit-identical to the
+// uncached CostModel.MapCost / MapCostAvg.
+type MapCoster struct {
+	cm        *CostModel
+	rows      map[hdfs.BlockID]*mapRow
+	cacheable bool // distances carry an epoch signal
+
+	avail        []topology.NodeID
+	availVersion uint64
+}
+
+type mapRow struct {
+	dist       []float64 // per candidate node: min over replicas of h
+	epoch      uint64    // distance epoch the row was filled at
+	sumVersion uint64    // availVersion costSum was computed at (0 = stale)
+	costSum    float64   // Σ_{k in avail} B_j·dist[k]
+}
+
+// NewMapCoster builds an empty cache over the model. One MapCoster serves
+// all jobs; call Forget when a job completes to release its rows.
+func (c *CostModel) NewMapCoster() *MapCoster {
+	mc := &MapCoster{cm: c, rows: make(map[hdfs.BlockID]*mapRow), availVersion: 1}
+	_, mc.cacheable = c.DistanceEpoch()
+	return mc
+}
+
+// row returns the (refreshed) distance row for the task's block.
+func (mc *MapCoster) row(m *job.MapTask) *mapRow {
+	ep, _ := mc.cm.DistanceEpoch()
+	r := mc.rows[m.Block]
+	if r == nil {
+		r = &mapRow{dist: make([]float64, mc.cm.net.Size())}
+		mc.rows[m.Block] = r
+	} else if mc.cacheable && r.epoch == ep {
+		return r
+	}
+	replicas := mc.cm.store.Replicas(m.Block)
+	for k := range r.dist {
+		best := math.Inf(1)
+		for _, l := range replicas {
+			if d := mc.cm.Distance(topology.NodeID(k), l); d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+		}
+		r.dist[k] = best
+	}
+	r.epoch = ep
+	r.sumVersion = 0 // distances changed: cached cost sum is stale
+	return r
+}
+
+// Cost returns C_m(i,j) (Formula 1), bit-identical to CostModel.MapCost.
+func (mc *MapCoster) Cost(m *job.MapTask, i topology.NodeID) float64 {
+	d := mc.row(m).dist[i]
+	if math.IsInf(d, 1) {
+		return math.Inf(1) // no replicas: unschedulable
+	}
+	return m.Size * d
+}
+
+// CostAvg returns C_avg over avail, bit-identical to CostModel.MapCostAvg:
+// the sum accumulates B_j·dist[k] in avail order, exactly as the naive
+// loop does.
+func (mc *MapCoster) CostAvg(m *job.MapTask, avail []topology.NodeID) float64 {
+	if len(avail) == 0 {
+		return 0
+	}
+	if !equalNodes(mc.avail, avail) {
+		mc.avail = append(mc.avail[:0], avail...)
+		mc.availVersion++
+	}
+	r := mc.row(m)
+	if !mc.cacheable || r.sumVersion != mc.availVersion {
+		var sum float64
+		for _, k := range mc.avail {
+			sum += m.Size * r.dist[k]
+		}
+		r.costSum = sum
+		r.sumVersion = mc.availVersion
+	}
+	return r.costSum / float64(len(avail))
+}
+
+// Forget drops the cached rows of a job's blocks. Blocks belong to
+// exactly one job's input file, so this cannot evict another job's state.
+func (mc *MapCoster) Forget(j *job.Job) {
+	for _, m := range j.Maps {
+		delete(mc.rows, m.Block)
+	}
+}
+
+// Len returns the number of cached block rows (exposed for leak tests).
+func (mc *MapCoster) Len() int { return len(mc.rows) }

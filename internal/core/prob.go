@@ -58,20 +58,49 @@ type Choice struct {
 // instead of straggling at the tail.
 func (c Choice) Saving() float64 { return c.AvgCost - c.Cost }
 
-// SelectMapTask runs lines 2–9 of Algorithm 1: for every candidate map
+// MapCostEvaluator abstracts Formula 1 so Algorithm 1 can run against
+// either the direct CostModel computation or a MapCoster cache. The two
+// implementations produce bit-identical costs, so selection decisions do
+// not depend on which one is plugged in.
+type MapCostEvaluator interface {
+	Cost(m *job.MapTask, i topology.NodeID) float64
+	CostAvg(m *job.MapTask, avail []topology.NodeID) float64
+}
+
+// directMapCost is the uncached reference evaluator.
+type directMapCost struct{ cm *CostModel }
+
+func (d directMapCost) Cost(m *job.MapTask, i topology.NodeID) float64 {
+	return d.cm.MapCost(m, i)
+}
+
+func (d directMapCost) CostAvg(m *job.MapTask, avail []topology.NodeID) float64 {
+	return d.cm.MapCostAvg(m, avail)
+}
+
+// Evaluator returns the uncached MapCostEvaluator view of the model.
+func (c *CostModel) Evaluator() MapCostEvaluator { return directMapCost{c} }
+
+// SelectMapTask runs lines 2–9 of Algorithm 1 against the uncached cost
+// model; see SelectMapTaskWith.
+func SelectMapTask(cm *CostModel, tasks []*job.MapTask, i topology.NodeID, avail []topology.NodeID) (best Choice, ok bool) {
+	return SelectMapTaskWith(directMapCost{cm}, tasks, i, avail)
+}
+
+// SelectMapTaskWith runs lines 2–9 of Algorithm 1: for every candidate map
 // task it computes the placement cost on node i (Formula 1), the average
 // cost over nodes with free map slots, and the probability (Formula 4),
 // returning the candidate with the largest transmission-cost saving
 // (Section II-C's selection criterion; data-local candidates always rank
 // first since their saving equals the full average cost). ok is false
 // when tasks is empty or no candidate is schedulable.
-func SelectMapTask(cm *CostModel, tasks []*job.MapTask, i topology.NodeID, avail []topology.NodeID) (best Choice, ok bool) {
+func SelectMapTaskWith(ev MapCostEvaluator, tasks []*job.MapTask, i topology.NodeID, avail []topology.NodeID) (best Choice, ok bool) {
 	for _, m := range tasks {
-		cost := cm.MapCost(m, i)
+		cost := ev.Cost(m, i)
 		if math.IsInf(cost, 1) {
 			continue
 		}
-		avg := cm.MapCostAvg(m, avail)
+		avg := ev.CostAvg(m, avail)
 		c := Choice{MapTask: m, Prob: AssignProb(avg, cost), Cost: cost, AvgCost: avg}
 		if !ok || c.Saving() > best.Saving() {
 			best = c

@@ -50,79 +50,75 @@ func (s Setup) runVariant(b sched.Builder) (*engine.Result, error) {
 // the Coupling-style current-size view and the unrealizable oracle
 // (Section II-B-2's design choice).
 func AblationEstimator(s Setup) ([]AblationPoint, error) {
-	var out []AblationPoint
-	for _, est := range []core.Estimator{core.ProgressScaled{}, core.CurrentSize{}, core.Oracle{}} {
+	ests := []core.Estimator{core.ProgressScaled{}, core.CurrentSize{}, core.Oracle{}}
+	return runParallel(len(ests), func(i int) (AblationPoint, error) {
 		cfg := sched.DefaultProbabilisticConfig()
 		cfg.Pmin = s.Pmin
-		cfg.Estimator = est
+		cfg.Estimator = ests[i]
 		res, err := s.runVariant(sched.NewProbabilistic(cfg))
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		out = append(out, pointFrom(est.Name(), res))
-	}
-	return out, nil
+		return pointFrom(ests[i].Name(), res), nil
+	})
 }
 
 // AblationNetworkCondition compares hop-count distances against
 // inverse-transmission-rate distances under background cross-traffic
 // (Section II-B-3's design choice).
 func AblationNetworkCondition(s Setup) ([]AblationPoint, error) {
-	var out []AblationPoint
-	for _, mode := range []core.Mode{core.ModeHops, core.ModeNetworkCondition} {
+	modes := []core.Mode{core.ModeHops, core.ModeNetworkCondition}
+	return runParallel(len(modes), func(i int) (AblationPoint, error) {
 		sp := s
-		sp.Engine.CostMode = mode
+		sp.Engine.CostMode = modes[i]
 		sp.Engine.CrossTraffic = 20
 		res, err := sp.runVariant(sp.BuilderFor(Probabilistic))
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		out = append(out, pointFrom(mode.String(), res))
-	}
-	return out, nil
+		return pointFrom(modes[i].String(), res), nil
+	})
 }
 
 // AblationDeterministic compares the probabilistic Bernoulli assignment
 // against always assigning the minimum-cost candidate (Section II-C's
 // "balance between transmission cost reduction and resource utilization").
 func AblationDeterministic(s Setup) ([]AblationPoint, error) {
-	var out []AblationPoint
-	for _, det := range []bool{false, true} {
+	dets := []bool{false, true}
+	return runParallel(len(dets), func(i int) (AblationPoint, error) {
 		cfg := sched.DefaultProbabilisticConfig()
 		cfg.Pmin = s.Pmin
-		cfg.Deterministic = det
+		cfg.Deterministic = dets[i]
 		name := "probabilistic"
-		if det {
+		if dets[i] {
 			name = "deterministic"
 		}
 		res, err := s.runVariant(sched.NewProbabilistic(cfg))
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		out = append(out, pointFrom(name, res))
-	}
-	return out, nil
+		return pointFrom(name, res), nil
+	})
 }
 
 // AblationReduceSpread toggles Algorithm 2 line 1 (one running reduce of a
 // job per node).
 func AblationReduceSpread(s Setup) ([]AblationPoint, error) {
-	var out []AblationPoint
-	for _, spread := range []bool{true, false} {
+	spreads := []bool{true, false}
+	return runParallel(len(spreads), func(i int) (AblationPoint, error) {
 		cfg := sched.DefaultProbabilisticConfig()
 		cfg.Pmin = s.Pmin
-		cfg.SpreadReduces = spread
+		cfg.SpreadReduces = spreads[i]
 		name := "spread-on"
-		if !spread {
+		if !spreads[i] {
 			name = "spread-off"
 		}
 		res, err := s.runVariant(sched.NewProbabilistic(cfg))
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		out = append(out, pointFrom(name, res))
-	}
-	return out, nil
+		return pointFrom(name, res), nil
+	})
 }
 
 // MultiRack runs the three schedulers on a 4-rack topology with
@@ -134,36 +130,36 @@ func MultiRack(s Setup) ([]AblationPoint, error) {
 	sp.Engine.Topology.Racks = 4
 	sp.Engine.Topology.NodesPerRack = 15
 	sp.Workload.Placement = hdfs.Subset{K: 30} // storage on half the nodes
-	var out []AblationPoint
-	for _, k := range SchedulerKinds() {
-		res, err := sp.runVariant(sp.BuilderFor(k))
+	kinds := SchedulerKinds()
+	return runParallel(len(kinds), func(i int) (AblationPoint, error) {
+		res, err := sp.runVariant(sp.BuilderFor(kinds[i]))
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		out = append(out, pointFrom(k.String(), res))
-	}
-	return out, nil
+		return pointFrom(kinds[i].String(), res), nil
+	})
 }
 
-// AblationReports runs every ablation and renders them.
+// AblationReports runs every ablation — each itself fanning its variants
+// out — and renders them in the fixed presentation order.
 func AblationReports(s Setup) ([]Report, error) {
-	var reports []Report
 	type entry struct {
 		id, title string
 		run       func(Setup) ([]AblationPoint, error)
 	}
-	for _, e := range []entry{
+	entries := []entry{
 		{"abl-estimator", "Estimator: progress-scaled vs current-size vs oracle", AblationEstimator},
 		{"abl-netcond", "Distance: hop count vs inverse transmission rate (20 cross-traffic flows)", AblationNetworkCondition},
 		{"abl-deterministic", "Assignment: probabilistic vs deterministic min-cost", AblationDeterministic},
 		{"abl-spread", "Reduce spreading (Algorithm 2 line 1) on vs off", AblationReduceSpread},
 		{"abl-multirack", "Multi-rack, storage-subset cluster (4 racks, Subset-30 placement)", MultiRack},
-	} {
+	}
+	return runParallel(len(entries), func(i int) (Report, error) {
+		e := entries[i]
 		pts, err := e.run(s)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", e.id, err)
+			return Report{}, fmt.Errorf("%s: %w", e.id, err)
 		}
-		reports = append(reports, renderAblation(e.id, e.title, pts))
-	}
-	return reports, nil
+		return renderAblation(e.id, e.title, pts), nil
+	})
 }

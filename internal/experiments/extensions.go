@@ -17,8 +17,9 @@ import (
 // probabilistic computation models for the probability determination and
 // study their impacts on the job performance") on the Wordcount batch.
 func ModelComparison(s Setup) ([]AblationPoint, error) {
-	var out []AblationPoint
-	for _, m := range core.Models() {
+	models := core.Models()
+	return runParallel(len(models), func(i int) (AblationPoint, error) {
+		m := models[i]
 		cfg := sched.DefaultProbabilisticConfig()
 		cfg.Pmin = s.Pmin
 		cfg.Model = m
@@ -29,11 +30,10 @@ func ModelComparison(s Setup) ([]AblationPoint, error) {
 		}
 		res, err := s.runVariant(sched.NewProbabilistic(cfg))
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		out = append(out, pointFrom(m.Name(), res))
-	}
-	return out, nil
+		return pointFrom(m.Name(), res), nil
+	})
 }
 
 // ExtendedComparison runs the paper's three schedulers plus the two
@@ -50,15 +50,13 @@ func ExtendedComparison(s Setup) ([]AblationPoint, error) {
 		{"LARTS", sched.NewLARTS(sched.DefaultLARTSConfig())},
 		{"Capacity", sched.NewCapacity(sched.DefaultCapacityConfig())},
 	}
-	var out []AblationPoint
-	for _, e := range entries {
-		res, err := s.runVariant(e.b)
+	return runParallel(len(entries), func(i int) (AblationPoint, error) {
+		res, err := s.runVariant(entries[i].b)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", e.name, err)
+			return AblationPoint{}, fmt.Errorf("%s: %w", entries[i].name, err)
 		}
-		out = append(out, pointFrom(e.name, res))
-	}
-	return out, nil
+		return pointFrom(entries[i].name, res), nil
+	})
 }
 
 // FaultPoint is one scheduler's outcome with and without failures.
@@ -76,32 +74,34 @@ type FaultPoint struct {
 // raised to 3 so no block can be orphaned.
 func FaultTolerance(s Setup) ([]FaultPoint, error) {
 	s.Workload.Replication = 3
-	var out []FaultPoint
-	for _, k := range SchedulerKinds() {
-		base, err := s.RunBatch(workload.Wordcount, s.BuilderFor(k))
+	kinds := SchedulerKinds()
+	return runParallel(len(kinds), func(i int) (FaultPoint, error) {
+		k := kinds[i]
+		// The baseline and the faulty run are independent: race them too.
+		runs, err := runParallel(2, func(v int) (*engine.Result, error) {
+			sp := s
+			if v == 1 {
+				n := s.Engine.Topology.Racks * s.Engine.Topology.NodesPerRack
+				sp.Engine.Failures = []engine.NodeFailure{
+					{Node: n / 3, At: 20},
+					{Node: 2 * n / 3, At: 60},
+				}
+			}
+			return sp.RunBatch(workload.Wordcount, sp.BuilderFor(k))
+		})
 		if err != nil {
-			return nil, err
+			return FaultPoint{}, err
 		}
-		sf := s
-		n := s.Engine.Topology.Racks * s.Engine.Topology.NodesPerRack
-		sf.Engine.Failures = []engine.NodeFailure{
-			{Node: n / 3, At: 20},
-			{Node: 2 * n / 3, At: 60},
-		}
-		faulty, err := sf.RunBatch(workload.Wordcount, sf.BuilderFor(k))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, FaultPoint{
+		base, faulty := runs[0], runs[1]
+		return FaultPoint{
 			Scheduler:         k.String(),
 			BaselineJCT:       base.JobCompletionCDF().Mean(),
 			FaultyJCT:         faulty.JobCompletionCDF().Mean(),
 			RelaunchedMaps:    faulty.RelaunchedMaps,
 			RelaunchedReduces: faulty.RelaunchedReduces,
 			Unfinished:        faulty.Unfinished,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FaultReport renders the fault-tolerance comparison.
@@ -126,18 +126,17 @@ func FaultReport(points []FaultPoint) Report {
 // the two job-level policies Section II-A names (the paper's experiments
 // use the Fair Scheduler; FIFO is the alternative).
 func JobPolicyComparison(s Setup) ([]AblationPoint, error) {
-	var out []AblationPoint
-	for _, pol := range []sched.JobPolicy{sched.FairJobs, sched.FIFOJobs} {
+	pols := []sched.JobPolicy{sched.FairJobs, sched.FIFOJobs}
+	return runParallel(len(pols), func(i int) (AblationPoint, error) {
 		cfg := sched.DefaultProbabilisticConfig()
 		cfg.Pmin = s.Pmin
-		cfg.JobPolicy = pol
+		cfg.JobPolicy = pols[i]
 		res, err := s.runVariant(sched.NewProbabilistic(cfg))
 		if err != nil {
-			return nil, err
+			return AblationPoint{}, err
 		}
-		out = append(out, pointFrom("job-level "+pol.String(), res))
-	}
-	return out, nil
+		return pointFrom("job-level "+pols[i].String(), res), nil
+	})
 }
 
 // SeedStudy reruns each batch under each scheduler for several seeds and
@@ -148,26 +147,39 @@ func SeedStudy(s Setup, seeds []int64) (Report, error) {
 		return Report{}, fmt.Errorf("experiments: no seeds")
 	}
 	t := metrics.NewTable("Batch", "Scheduler", "Mean JCT (seed mean)", "min..max over seeds")
-	type cell struct{ mean []float64 }
-	grand := map[SchedulerKind][]float64{}
+	// Flatten the (batch, scheduler, seed) cube into one flat fan-out; the
+	// table rows are then assembled in the original nesting order.
+	type cellKey struct {
+		wk workload.Kind
+		k  SchedulerKind
+	}
+	var cells []cellKey
 	for _, wk := range workload.Kinds() {
 		for _, k := range SchedulerKinds() {
-			var c cell
-			for _, seed := range seeds {
-				sp := s
-				sp.Engine.Seed = seed
-				res, err := sp.RunBatch(wk, sp.BuilderFor(k))
-				if err != nil {
-					return Report{}, err
-				}
-				c.mean = append(c.mean, res.JobCompletionCDF().Mean())
-			}
-			cdf := metrics.NewCDF(c.mean)
-			t.AddRow(wk.String(), k.String(),
-				fmt.Sprintf("%.1fs", cdf.Mean()),
-				fmt.Sprintf("%.1f..%.1f", cdf.Min(), cdf.Max()))
-			grand[k] = append(grand[k], c.mean...)
+			cells = append(cells, cellKey{wk, k})
 		}
+	}
+	means, err := runParallel(len(cells)*len(seeds), func(i int) (float64, error) {
+		c, seed := cells[i/len(seeds)], seeds[i%len(seeds)]
+		sp := s
+		sp.Engine.Seed = seed
+		res, err := sp.RunBatch(c.wk, sp.BuilderFor(c.k))
+		if err != nil {
+			return 0, err
+		}
+		return res.JobCompletionCDF().Mean(), nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	grand := map[SchedulerKind][]float64{}
+	for ci, c := range cells {
+		mean := means[ci*len(seeds) : (ci+1)*len(seeds)]
+		cdf := metrics.NewCDF(mean)
+		t.AddRow(c.wk.String(), c.k.String(),
+			fmt.Sprintf("%.1fs", cdf.Mean()),
+			fmt.Sprintf("%.1f..%.1f", cdf.Min(), cdf.Max()))
+		grand[c.k] = append(grand[c.k], mean...)
 	}
 	var note string
 	for _, k := range SchedulerKinds() {

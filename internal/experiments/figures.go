@@ -263,24 +263,22 @@ type PminPoint struct {
 // picked the highest P_min value at the time when all jobs finished
 // successfully").
 func PminSweep(s Setup, values []float64) ([]PminPoint, error) {
-	var out []PminPoint
-	for _, p := range values {
+	return runParallel(len(values), func(i int) (PminPoint, error) {
 		sp := s
-		sp.Pmin = p
+		sp.Pmin = values[i]
 		// A tight horizon makes "jobs fail to finish" observable, as on
 		// the real cluster; feasible thresholds finish well within it.
 		sp.Engine.MaxSimTime = 1200 * float64(6) / float64(s.Workload.Scale)
 		res, err := sp.RunBatch(workload.Wordcount, sp.BuilderFor(Probabilistic))
 		if err != nil {
-			return nil, err
+			return PminPoint{}, err
 		}
-		out = append(out, PminPoint{
-			Pmin:       p,
+		return PminPoint{
+			Pmin:       values[i],
 			MeanJCT:    res.JobCompletionCDF().Mean(),
 			Unfinished: res.Unfinished,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // PminReport renders the sweep and the chosen threshold.

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerSem gates the number of simulations that run concurrently. The
+// gate is acquired only at the leaf of every experiment (RunBatch, where
+// a simulation actually executes), never by composite drivers such as
+// RunComparison or SeedStudy: composite layers fan out with plain
+// goroutines that block cheaply on the leaf gate, so arbitrarily nested
+// fan-outs cannot deadlock on a held slot, and total CPU use stays
+// bounded by the worker count.
+var workerSem = make(chan struct{}, defaultWorkers())
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetMaxWorkers bounds the number of concurrently executing simulations
+// (default: GOMAXPROCS). Call it before starting runs; changing it while
+// experiments are in flight only affects runs that start afterwards.
+func SetMaxWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workerSem = make(chan struct{}, n)
+}
+
+// runParallel evaluates fn(0..n-1) concurrently and returns the results
+// in slot order, so output ordering is identical to a sequential loop.
+// Each simulation is fully self-contained (own engine, RNG, topology),
+// which is what makes concurrent execution result-identical to
+// sequential execution. The first error by index wins.
+func runParallel[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -101,7 +101,10 @@ func (s Setup) BuilderFor(k SchedulerKind) sched.Builder {
 }
 
 // RunBatch simulates one Table II batch (one application class) under one
-// scheduler builder.
+// scheduler builder. This is the leaf of every experiment: it holds a
+// worker-gate slot for the duration of the simulation, so any composite
+// driver may fan out freely and still run at most SetMaxWorkers
+// simulations at once.
 func (s Setup) RunBatch(kind workload.Kind, b sched.Builder) (*engine.Result, error) {
 	specs, err := workload.Specs(workload.Batch(kind), s.Workload)
 	if err != nil {
@@ -111,6 +114,9 @@ func (s Setup) RunBatch(kind workload.Kind, b sched.Builder) (*engine.Result, er
 	if err != nil {
 		return nil, err
 	}
+	sem := workerSem
+	sem <- struct{}{}
+	defer func() { <-sem }()
 	return sim.Run()
 }
 
@@ -132,16 +138,24 @@ type Merged struct {
 	Unfinished        int
 }
 
-// RunAllBatches runs the three batches separately (as in the paper) and
-// merges the results.
+// RunAllBatches runs the three batches separately (as in the paper), in
+// parallel, and merges the results in batch order — identical to the
+// sequential merge.
 func (s Setup) RunAllBatches(k SchedulerKind) (*Merged, error) {
+	kinds := workload.Kinds()
+	results, err := runParallel(len(kinds), func(i int) (*engine.Result, error) {
+		res, err := s.RunBatch(kinds[i], s.BuilderFor(k))
+		if err != nil {
+			return nil, fmt.Errorf("%v batch under %v: %w", kinds[i], k, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	m := &Merged{Kind: k}
 	var utilM, utilR float64
-	for _, wk := range workload.Kinds() {
-		res, err := s.RunBatch(wk, s.BuilderFor(k))
-		if err != nil {
-			return nil, fmt.Errorf("%v batch under %v: %w", wk, k, err)
-		}
+	for _, res := range results {
 		m.Scheduler = res.Scheduler
 		m.Jobs = append(m.Jobs, res.Jobs...)
 		m.MapTimes = append(m.MapTimes, res.MapTimes...)
@@ -190,15 +204,19 @@ type Comparison struct {
 	Results map[SchedulerKind]*Merged
 }
 
-// RunComparison executes all three schedulers over all three batches.
+// RunComparison executes all three schedulers over all three batches,
+// running the nine independent simulations in parallel.
 func (s Setup) RunComparison() (*Comparison, error) {
+	kinds := SchedulerKinds()
+	merged, err := runParallel(len(kinds), func(i int) (*Merged, error) {
+		return s.RunAllBatches(kinds[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	c := &Comparison{Setup: s, Results: make(map[SchedulerKind]*Merged)}
-	for _, k := range SchedulerKinds() {
-		m, err := s.RunAllBatches(k)
-		if err != nil {
-			return nil, err
-		}
-		c.Results[k] = m
+	for i, k := range kinds {
+		c.Results[k] = merged[i]
 	}
 	return c, nil
 }

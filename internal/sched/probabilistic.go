@@ -32,6 +32,12 @@ type ProbabilisticConfig struct {
 	// the paper's exponential model (Formula 4). Section V calls the
 	// exploration of alternative models out as future work.
 	Model core.ProbabilityModel
+	// Naive disables the incremental cost caches: map costs are evaluated
+	// directly against the cost model and reduce costers are rebuilt from
+	// scratch whenever they go stale. The cached path is bit-identical to
+	// this one; the flag exists for the equivalence tests and benchmarks
+	// that prove it.
+	Naive bool
 }
 
 // DefaultProbabilisticConfig returns the paper's settings.
@@ -53,10 +59,17 @@ type Probabilistic struct {
 	// heartbeat-reported progress moves slowly relative to the offer rate,
 	// so rebuilding the O(maps x reduces) aggregation on every slot offer
 	// only burns time (a real JobTracker caches these statistics too).
+	// Entries of finished jobs are swept by sweep() so the cache cannot
+	// grow past the set of live jobs.
 	costerCache map[job.ID]costerEntry
+
+	// mapCost evaluates Formula 1: a shared MapCoster on the cached path,
+	// the direct cost model when cfg.Naive is set.
+	mapCost core.MapCostEvaluator
+	maps    *core.MapCoster // nil on the naive path
 }
 
-// costerEntry is one cached reduce coster with its build time.
+// costerEntry is one cached reduce coster with its last refresh time.
 type costerEntry struct {
 	at sim.Time
 	rc *core.ReduceCoster
@@ -66,14 +79,45 @@ type costerEntry struct {
 // seconds.
 const costerMaxAge = 1.0
 
-// coster returns a fresh-enough reduce coster for j.
+// coster returns a fresh-enough reduce coster for j. A stale coster is
+// brought up to date incrementally (or rebuilt from scratch on the naive
+// path — the two are bit-identical, see core.ReduceCoster.Refresh).
 func (p *Probabilistic) coster(j *job.Job, now sim.Time) *core.ReduceCoster {
-	if e, ok := p.costerCache[j.ID]; ok && float64(now-e.at) < costerMaxAge {
-		return e.rc
+	if e, ok := p.costerCache[j.ID]; ok {
+		if float64(now-e.at) < costerMaxAge {
+			return e.rc
+		}
+		if !p.cfg.Naive {
+			e.rc.Refresh()
+			p.costerCache[j.ID] = costerEntry{at: now, rc: e.rc}
+			return e.rc
+		}
 	}
 	rc := p.env.Cost.NewReduceCoster(j, p.cfg.Estimator)
 	p.costerCache[j.ID] = costerEntry{at: now, rc: rc}
 	return rc
+}
+
+// sweep evicts cached state of jobs that left the live set (finished or
+// removed), fixing the per-completed-job leak of both the reduce-coster
+// cache and the map-cost rows. Evicted jobs are never offered slots
+// again, so eviction cannot change a scheduling decision.
+func (p *Probabilistic) sweep(ctx *Context) {
+	if len(p.costerCache) <= len(ctx.Jobs) {
+		return
+	}
+	live := make(map[job.ID]struct{}, len(ctx.Jobs))
+	for _, j := range ctx.Jobs {
+		live[j.ID] = struct{}{}
+	}
+	for id, e := range p.costerCache {
+		if _, ok := live[id]; !ok {
+			if p.maps != nil {
+				p.maps.Forget(e.rc.Job())
+			}
+			delete(p.costerCache, id)
+		}
+	}
 }
 
 // NewProbabilistic returns a Builder for the scheduler with the given
@@ -87,7 +131,14 @@ func NewProbabilistic(cfg ProbabilisticConfig) Builder {
 		cfg.Model = core.Exponential{}
 	}
 	return func(env Env) Scheduler {
-		return &Probabilistic{env: env, cfg: cfg, costerCache: make(map[job.ID]costerEntry)}
+		p := &Probabilistic{env: env, cfg: cfg, costerCache: make(map[job.ID]costerEntry)}
+		if cfg.Naive {
+			p.mapCost = env.Cost.Evaluator()
+		} else {
+			p.maps = env.Cost.NewMapCoster()
+			p.mapCost = p.maps
+		}
+		return p
 	}
 }
 
@@ -110,10 +161,11 @@ func (p *Probabilistic) Name() string {
 // Scanning past the head job mirrors how Hadoop's job-level scheduler
 // iterates jobs when the head job has nothing attractive for a node.
 func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
+	p.sweep(ctx)
 	var best core.Choice
 	found := false
 	for _, j := range orderJobs(ctx, p.cfg.JobPolicy, mapKind) {
-		c, ok := core.SelectMapTask(p.env.Cost, j.PendingMaps(), node, ctx.AvailMapNodes)
+		c, ok := core.SelectMapTaskWith(p.mapCost, j.PendingMaps(), node, ctx.AvailMapNodes)
 		if !ok {
 			continue
 		}
@@ -149,6 +201,7 @@ func (p *Probabilistic) AssignReduce(ctx *Context, node topology.NodeID) *job.Re
 	// the cluster's nodes — a work-conserving second pass relaxes the
 	// rule, as any deployed scheduler must for jobs with more reduces than
 	// nodes.
+	p.sweep(ctx)
 	best, found := p.selectReduce(ctx, node, p.cfg.SpreadReduces)
 	if !found && p.cfg.SpreadReduces {
 		best, found = p.selectReduce(ctx, node, false)

@@ -24,6 +24,11 @@ type Flow struct {
 	doneEv     *sim.Event
 	persistent bool
 	finished   bool
+
+	slots  []int   // position of this flow in each path link's flow list
+	next   float64 // scratch rate assigned by the current filling pass
+	frozen bool    // scratch flag for progressive filling
+	visit  uint64  // scratch stamp for component discovery
 }
 
 // Rate returns the flow's current bandwidth share in bytes/second.
@@ -35,19 +40,49 @@ func (f *Flow) Remaining() float64 { return f.remaining }
 // Finished reports whether the flow has completed or been cancelled.
 func (f *Flow) Finished() bool { return f.finished }
 
+// link carries its active flows as a slice (swap-remove via Flow.slots):
+// enumeration is the recompute hot loop, and slice iteration is several
+// times cheaper than ranging a map. Order within the slice is arbitrary
+// but immaterial — every consumer either sorts or commutes exactly.
 type link struct {
 	capacity float64
-	flows    map[*Flow]struct{}
+	flows    []*Flow
 }
 
 // FlowNet is a flow-level network simulator: each active flow receives a
-// max-min fair share of the capacity of every directed link on its path,
-// and shares are recomputed whenever a flow starts or ends.
+// max-min fair share of the capacity of every directed link on its path.
+// Shares are recomputed whenever a flow starts or ends; by default only
+// the connected component of flows sharing links with the churned flow is
+// refilled (an exact decomposition of max-min fairness), with a fallback
+// to a full recompute when the component covers most of the live flows.
 type FlowNet struct {
 	eng   *sim.Engine
 	links []link
-	live  map[*Flow]struct{}
-	alpha float64 // congestion inefficiency; see Spec.CongestionAlpha
+	// liveList holds in-flight flows in creation-id order (ids are issued
+	// monotonically and flows are appended at start), so progressive
+	// filling never has to sort it; finished flows are tombstoned and
+	// compacted lazily. liveCount is the exact number of live entries.
+	liveList  []*Flow
+	liveCount int
+	alpha     float64 // congestion inefficiency; see Spec.CongestionAlpha
+
+	// epoch counts rate recomputations. Any quantity derived from link
+	// occupancy or flow rates (ProspectiveRate, PathRate) is constant
+	// between epochs, which lets higher layers cache derived costs with
+	// exact invalidation.
+	epoch uint64
+
+	forceFull bool  // disable the incremental path (testing / comparison)
+	fullRecs  int64 // full progressive-filling passes
+	incRecs   int64 // component-local passes (avoided full recomputes)
+
+	// Reusable scratch state, sized to len(links).
+	remCap    []float64
+	cnt       []int
+	linkVisit []uint64
+	visitID   uint64
+	flowsBuf  []*Flow
+	linksBuf  []int
 
 	// stats
 	started   int64
@@ -57,7 +92,7 @@ type FlowNet struct {
 
 // NewFlowNet returns an empty network bound to eng.
 func NewFlowNet(eng *sim.Engine) *FlowNet {
-	return &FlowNet{eng: eng, live: make(map[*Flow]struct{})}
+	return &FlowNet{eng: eng}
 }
 
 // SetCongestionAlpha sets the goodput-degradation coefficient: a link
@@ -68,6 +103,23 @@ func (n *FlowNet) SetCongestionAlpha(alpha float64) {
 	}
 	n.alpha = alpha
 }
+
+// SetForceFullRecompute disables the incremental component-local recompute,
+// running full progressive filling on every churn. Used by equivalence
+// tests and benchmarks comparing the two paths.
+func (n *FlowNet) SetForceFullRecompute(force bool) { n.forceFull = force }
+
+// Epoch returns the rate-recomputation counter. Between equal epochs no
+// link occupancy or flow rate has changed, so path-rate observations are
+// guaranteed stable.
+func (n *FlowNet) Epoch() uint64 { return n.epoch }
+
+// FullRecomputes returns the number of full progressive-filling passes.
+func (n *FlowNet) FullRecomputes() int64 { return n.fullRecs }
+
+// IncrementalRecomputes returns the number of component-local passes,
+// i.e. full recomputes avoided by the incremental path.
+func (n *FlowNet) IncrementalRecomputes() int64 { return n.incRecs }
 
 // effCapacity returns a link's aggregate goodput when carrying n flows.
 func (n *FlowNet) effCapacity(l int, flows int) float64 {
@@ -83,7 +135,10 @@ func (n *FlowNet) AddLink(capacity float64) LinkID {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("topology: link capacity %v must be positive", capacity))
 	}
-	n.links = append(n.links, link{capacity: capacity, flows: make(map[*Flow]struct{})})
+	n.links = append(n.links, link{capacity: capacity})
+	n.remCap = append(n.remCap, 0)
+	n.cnt = append(n.cnt, 0)
+	n.linkVisit = append(n.linkVisit, 0)
 	return LinkID(len(n.links) - 1)
 }
 
@@ -91,7 +146,7 @@ func (n *FlowNet) AddLink(capacity float64) LinkID {
 func (n *FlowNet) LinkFlowCount(l LinkID) int { return len(n.links[l].flows) }
 
 // ActiveFlows returns the number of in-flight flows.
-func (n *FlowNet) ActiveFlows() int { return len(n.live) }
+func (n *FlowNet) ActiveFlows() int { return n.liveCount }
 
 // Completed returns the number of flows that finished normally.
 func (n *FlowNet) Completed() int64 { return n.completed }
@@ -118,11 +173,8 @@ func (n *FlowNet) StartFlow(path []LinkID, bytes float64, done func()) *Flow {
 		})
 		return f
 	}
-	for _, l := range path {
-		n.links[l].flows[f] = struct{}{}
-	}
-	n.live[f] = struct{}{}
-	n.recompute()
+	n.attach(f)
+	n.recompute(f)
 	return f
 }
 
@@ -130,12 +182,9 @@ func (n *FlowNet) StartFlow(path []LinkID, bytes float64, done func()) *Flow {
 // cancelled) and always consumes its fair share on the path.
 func (n *FlowNet) StartPersistentFlow(path []LinkID) *Flow {
 	f := &Flow{id: n.started, links: path, remaining: math.Inf(1), persistent: true, lastUpdate: n.eng.Now()}
-	for _, l := range path {
-		n.links[l].flows[f] = struct{}{}
-	}
-	n.live[f] = struct{}{}
 	n.started++
-	n.recompute()
+	n.attach(f)
+	n.recompute(f)
 	return f
 }
 
@@ -171,21 +220,62 @@ func (n *FlowNet) Cancel(f *Flow) {
 	n.settle(f)
 	f.finished = true
 	n.detach(f)
-	n.recompute()
+	n.recompute(f)
 }
 
-// detach removes f from its links and the live set and drops its pending
-// completion event.
-func (n *FlowNet) detach(f *Flow) {
-	for _, l := range f.links {
-		delete(n.links[l].flows, f)
+// attach registers f on every link of its path and in the live list.
+func (n *FlowNet) attach(f *Flow) {
+	f.slots = make([]int, len(f.links))
+	for i, l := range f.links {
+		f.slots[i] = len(n.links[l].flows)
+		n.links[l].flows = append(n.links[l].flows, f)
 	}
-	delete(n.live, f)
+	n.liveList = append(n.liveList, f)
+	n.liveCount++
+}
+
+// detach removes f from its links (swap-remove, fixing the moved flow's
+// slot) and drops its pending completion event. The live-list entry is
+// tombstoned and reclaimed by the next compaction.
+func (n *FlowNet) detach(f *Flow) {
+	for i, l := range f.links {
+		fl := n.links[l].flows
+		last := len(fl) - 1
+		if s := f.slots[i]; s != last {
+			moved := fl[last]
+			fl[s] = moved
+			for k, ml := range moved.links {
+				if ml == l {
+					moved.slots[k] = s
+					break
+				}
+			}
+		}
+		fl[last] = nil
+		n.links[l].flows = fl[:last]
+	}
+	n.liveCount--
 	if f.doneEv != nil {
 		f.doneEv.Cancel()
 		n.eng.Remove(f.doneEv)
 		f.doneEv = nil
 	}
+}
+
+// compactLive drops tombstoned (finished) flows from the live list,
+// preserving creation order.
+func (n *FlowNet) compactLive() {
+	w := 0
+	for _, f := range n.liveList {
+		if !f.finished {
+			n.liveList[w] = f
+			w++
+		}
+	}
+	for i := w; i < len(n.liveList); i++ {
+		n.liveList[i] = nil
+	}
+	n.liveList = n.liveList[:w]
 }
 
 // settle charges progress made at the current rate since the last update.
@@ -205,79 +295,169 @@ func (n *FlowNet) settle(f *Flow) {
 	f.lastUpdate = now
 }
 
-// recompute runs progressive filling (max-min fairness) over all live
-// flows, then reschedules each flow's completion event. Flows are handled
-// in creation order so that simultaneous completions fire in a
-// deterministic sequence regardless of map iteration order.
-func (n *FlowNet) recompute() {
-	if len(n.live) == 0 {
+// recompute refreshes max-min fair shares after seed started or departed.
+// Progressive filling decomposes exactly over connected components of the
+// flow/link sharing graph, so only the component reachable from seed's
+// path needs refilling; flows outside it keep their (unchanged) shares.
+// A nil seed, a forced-full configuration, or a component covering most of
+// the live flows falls back to a full pass over every loaded link.
+func (n *FlowNet) recompute(seed *Flow) {
+	n.epoch++
+	if n.liveCount == 0 {
+		n.compactLive()
 		return
 	}
-	ordered := make([]*Flow, 0, len(n.live))
-	for f := range n.live {
-		ordered = append(ordered, f)
-	}
-	sort.Slice(ordered, func(a, b int) bool { return ordered[a].id < ordered[b].id })
-
-	// Settle progress under old rates before assigning new ones.
-	for _, f := range ordered {
-		n.settle(f)
+	if n.forceFull || seed == nil {
+		n.fullRecompute()
+		return
 	}
 
-	// Progressive filling.
-	remCap := make([]float64, len(n.links))
-	cnt := make([]int, len(n.links))
-	for i := range n.links {
-		cnt[i] = len(n.links[i].flows)
-		remCap[i] = n.effCapacity(i, cnt[i])
+	// Discover the connected component of links and flows reachable from
+	// the seed's path. The seed itself is included only if still attached.
+	// When the component spans most of the network, component discovery
+	// plus local filling saves nothing over a full pass, so discovery
+	// aborts as soon as the component crosses half the live flows instead
+	// of enumerating the rest.
+	n.visitID++
+	stamp := n.visitID
+	compLinks := n.linksBuf[:0]
+	compFlows := n.flowsBuf[:0]
+	for _, l := range seed.links {
+		if n.linkVisit[l] != stamp {
+			n.linkVisit[l] = stamp
+			compLinks = append(compLinks, int(l))
+		}
 	}
-	unfrozen := make(map[*Flow]struct{}, len(n.live))
-	for f := range n.live {
-		unfrozen[f] = struct{}{}
-	}
-	for len(unfrozen) > 0 {
-		// Find the most constrained link among links carrying unfrozen flows.
-		best := -1
-		bestShare := math.Inf(1)
-		for i := range n.links {
-			if cnt[i] == 0 {
+	for head := 0; head < len(compLinks) && 2*len(compFlows) < n.liveCount; head++ {
+		for _, f := range n.links[compLinks[head]].flows {
+			if f.visit == stamp {
 				continue
 			}
-			share := remCap[i] / float64(cnt[i])
-			if share < bestShare {
-				bestShare = share
-				best = i
+			f.visit = stamp
+			compFlows = append(compFlows, f)
+			for _, l := range f.links {
+				if n.linkVisit[l] != stamp {
+					n.linkVisit[l] = stamp
+					compLinks = append(compLinks, int(l))
+				}
 			}
 		}
+	}
+	n.linksBuf, n.flowsBuf = compLinks, compFlows
+
+	if len(compFlows) == 0 {
+		return // departed flow was alone on its path
+	}
+	if 2*len(compFlows) >= n.liveCount {
+		n.fullRecompute()
+		return
+	}
+	n.incRecs++
+	if len(n.liveList) > 2*n.liveCount+16 {
+		n.compactLive() // bound tombstone growth on incremental-only churn
+	}
+
+	// Deterministic orders: flows by creation id (event tie-breaks), links
+	// ascending (bottleneck tie-breaks match the full pass).
+	sort.Slice(compFlows, func(a, b int) bool { return compFlows[a].id < compFlows[b].id })
+	sort.Ints(compLinks)
+	n.fill(compLinks, compFlows)
+}
+
+// fullRecompute runs progressive filling over all live flows. The live
+// list is already in creation-id order, so no sort is needed — just a
+// compaction pass dropping finished flows.
+func (n *FlowNet) fullRecompute() {
+	n.fullRecs++
+	n.compactLive()
+	links := n.linksBuf[:0]
+	for i := range n.links {
+		if len(n.links[i].flows) > 0 {
+			links = append(links, i)
+		}
+	}
+	n.linksBuf = links
+	n.fill(links, n.liveList)
+}
+
+// fill runs progressive filling (max-min fairness) over the given flows,
+// whose link usage is exactly covered by links (ascending order), then
+// reschedules the completion event of every flow whose share changed.
+// Flows whose share is unchanged are left entirely alone: their pending
+// event already fires at the correct absolute time, so skipping the
+// settle/cancel/reschedule cycle saves the bulk of the heap traffic.
+// Flows are handled in creation order so that simultaneous completions
+// fire in a deterministic sequence.
+func (n *FlowNet) fill(links []int, flows []*Flow) {
+	for _, l := range links {
+		n.cnt[l] = len(n.links[l].flows)
+		n.remCap[l] = n.effCapacity(l, n.cnt[l])
+	}
+	for _, f := range flows {
+		f.frozen = false
+	}
+	unfrozen := len(flows)
+	for unfrozen > 0 {
+		// Find the most constrained link among links carrying unfrozen
+		// flows, compacting drained links out of the scan (preserving
+		// ascending order so tie-breaks stay deterministic).
+		best := -1
+		bestShare := math.Inf(1)
+		w := 0
+		for _, l := range links {
+			if n.cnt[l] == 0 {
+				continue
+			}
+			links[w] = l
+			w++
+			share := n.remCap[l] / float64(n.cnt[l])
+			if share < bestShare {
+				bestShare = share
+				best = l
+			}
+		}
+		links = links[:w]
 		if best < 0 {
 			// No unfrozen flow crosses any link (cannot happen: every live
 			// flow has a non-empty path), but guard against livelock.
-			for f := range unfrozen {
-				f.rate = 0
-				delete(unfrozen, f)
+			for _, f := range flows {
+				if !f.frozen {
+					f.next = 0
+					f.frozen = true
+				}
 			}
 			break
 		}
 		// Freeze every unfrozen flow on the bottleneck at the fair share.
-		for f := range n.links[best].flows {
-			if _, ok := unfrozen[f]; !ok {
+		// The order of iteration is immaterial: every frozen flow gets
+		// the same share, and the remCap/cnt updates commute exactly
+		// (each round subtracts the same bestShare per crossing).
+		for _, f := range n.links[best].flows {
+			if f.frozen {
 				continue
 			}
-			f.rate = bestShare
-			delete(unfrozen, f)
+			f.next = bestShare
+			f.frozen = true
+			unfrozen--
 			for _, l := range f.links {
-				remCap[l] -= bestShare
-				if remCap[l] < 0 {
-					remCap[l] = 0 // guard float error
+				n.remCap[l] -= bestShare
+				if n.remCap[l] < 0 {
+					n.remCap[l] = 0 // guard float error
 				}
-				cnt[l]--
+				n.cnt[l]--
 			}
 		}
 	}
 
-	// Reschedule completions under the new rates. Physically remove stale
+	// Apply changed shares: settle progress under the old rate, then
+	// reschedule the completion under the new one. Physically remove stale
 	// events so long shuffle phases do not bloat the event heap.
-	for _, f := range ordered {
+	for _, f := range flows {
+		if f.next == f.rate {
+			continue
+		}
+		n.settle(f)
+		f.rate = f.next
 		if f.doneEv != nil {
 			f.doneEv.Cancel()
 			n.eng.Remove(f.doneEv)
@@ -306,7 +486,7 @@ func (n *FlowNet) finish(f *Flow) {
 	n.detach(f)
 	// Recompute before the callback so any transfers the callback starts
 	// see post-departure shares.
-	n.recompute()
+	n.recompute(f)
 	if f.done != nil {
 		f.done()
 	}
@@ -337,7 +517,7 @@ func (n *FlowNet) CheckFeasible() error {
 	const tol = 1e-6
 	for i := range n.links {
 		var sum float64
-		for f := range n.links[i].flows {
+		for _, f := range n.links[i].flows {
 			sum += f.rate
 		}
 		cap := n.effCapacity(i, len(n.links[i].flows))

@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"mapsched/internal/sim"
+)
+
+// mirrorNets builds two identical multi-rack clusters, one with the
+// default incremental recompute and one forced to full recompute.
+func mirrorNets(t *testing.T) (*sim.Engine, *Cluster, *sim.Engine, *Cluster) {
+	t.Helper()
+	spec := DefaultSpec()
+	spec.Racks = 4
+	spec.NodesPerRack = 15
+	engA := sim.NewEngine()
+	a, err := NewCluster(engA, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := sim.NewEngine()
+	b, err := NewCluster(engB, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Net().SetForceFullRecompute(true)
+	return engA, a, engB, b
+}
+
+// TestIncrementalRecomputeMatchesFull drives an identical random churn of
+// transfers through an incremental and a full-recompute network and checks
+// that completion order, counts and delivered bytes agree, and that the
+// incremental path actually avoided full passes.
+func TestIncrementalRecomputeMatchesFull(t *testing.T) {
+	engA, a, engB, b := mirrorNets(t)
+
+	type op struct {
+		src, dst NodeID
+		bytes    float64
+	}
+	rng := sim.NewRNG(7)
+	var ops []op
+	for i := 0; i < 400; i++ {
+		src := NodeID(rng.Intn(a.Size()))
+		dst := NodeID(rng.Intn(a.Size()))
+		if src == dst {
+			dst = NodeID((int(dst) + 1) % a.Size())
+		}
+		// Irregular sizes so no two flows finish at exactly the same time.
+		ops = append(ops, op{src, dst, 1e5 + rng.Float64()*5e6})
+	}
+
+	run := func(eng *sim.Engine, c *Cluster) ([]float64, int64, float64) {
+		var finishes []float64
+		for _, o := range ops {
+			oo := o
+			c.Transfer(oo.src, oo.dst, oo.bytes, func() {
+				finishes = append(finishes, float64(eng.Now()))
+			})
+			// Interleave processing so the live-flow population churns.
+			if eng.Pending() > 64 {
+				for i := 0; i < 32; i++ {
+					eng.Step()
+				}
+			}
+		}
+		if _, err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Net().CheckFeasible(); err != nil {
+			t.Fatal(err)
+		}
+		return finishes, c.Net().Completed(), c.Net().BytesDelivered()
+	}
+
+	finA, cmplA, bytesA := run(engA, a)
+	finB, cmplB, bytesB := run(engB, b)
+
+	if cmplA != cmplB {
+		t.Fatalf("completed flows: incremental %d, full %d", cmplA, cmplB)
+	}
+	if bytesA != bytesB {
+		t.Fatalf("delivered bytes: incremental %v, full %v", bytesA, bytesB)
+	}
+	if len(finA) != len(finB) {
+		t.Fatalf("callback counts differ: %d vs %d", len(finA), len(finB))
+	}
+	for i := range finA {
+		// Rates are bit-identical; finish instants may differ by ulps
+		// because the incremental path settles untouched flows lazily.
+		if d := math.Abs(finA[i] - finB[i]); d > 1e-6*(1+math.Abs(finB[i])) {
+			t.Fatalf("finish %d: incremental %v, full %v", i, finA[i], finB[i])
+		}
+	}
+	if a.Net().IncrementalRecomputes() == 0 {
+		t.Fatal("incremental path never engaged")
+	}
+	if b.Net().IncrementalRecomputes() != 0 {
+		t.Fatal("forced-full network used the incremental path")
+	}
+	t.Logf("incremental: %d component passes, %d full passes (full-only: %d)",
+		a.Net().IncrementalRecomputes(), a.Net().FullRecomputes(), b.Net().FullRecomputes())
+}
+
+// TestIncrementalRatesMatchFullAfterEachChurn compares the assigned rate
+// of every live flow between the two paths after every start and finish —
+// the shares themselves must be bit-identical, not just the outcomes.
+func TestIncrementalRatesMatchFullAfterEachChurn(t *testing.T) {
+	engA, a, engB, b := mirrorNets(t)
+
+	rng := sim.NewRNG(11)
+	var flowsA, flowsB []*Flow
+	check := func(step int) {
+		t.Helper()
+		for i := range flowsA {
+			fa, fb := flowsA[i], flowsB[i]
+			if fa.Finished() != fb.Finished() {
+				t.Fatalf("step %d flow %d: finished %v vs %v", step, i, fa.Finished(), fb.Finished())
+			}
+			if fa.Rate() != fb.Rate() {
+				t.Fatalf("step %d flow %d: rate %v vs %v", step, i, fa.Rate(), fb.Rate())
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		src := NodeID(rng.Intn(a.Size()))
+		dst := NodeID(rng.Intn(a.Size()))
+		if src == dst {
+			dst = NodeID((int(dst) + 1) % a.Size())
+		}
+		bytes := 1e5 + rng.Float64()*2e6
+		flowsA = append(flowsA, a.Transfer(src, dst, bytes, nil))
+		flowsB = append(flowsB, b.Transfer(src, dst, bytes, nil))
+		check(i)
+		if engA.Pending() > 48 {
+			for j := 0; j < 16; j++ {
+				engA.Step()
+				engB.Step()
+			}
+			check(i)
+		}
+		if pa, pb := a.PathRate(src, dst), b.PathRate(src, dst); pa != pb {
+			t.Fatalf("step %d: PathRate %v vs %v", i, pa, pb)
+		}
+	}
+	for engA.Step() {
+		engB.Step()
+	}
+	check(-1)
+}
+
+// TestEpochAdvancesOnChurnOnly pins the cache-invalidation contract: the
+// epoch moves exactly when flows start, finish or are cancelled, and
+// stands still otherwise.
+func TestEpochAdvancesOnChurnOnly(t *testing.T) {
+	eng := sim.NewEngine()
+	c, err := NewCluster(eng, DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", c.Epoch())
+	}
+	f := c.Transfer(0, 1, 1e6, nil)
+	e1 := c.Epoch()
+	if e1 == 0 {
+		t.Fatal("epoch did not advance on flow start")
+	}
+	// Observations without churn must not move the epoch.
+	_ = c.PathRate(2, 3)
+	_ = c.Net().ProspectiveRate([]LinkID{0})
+	if c.Epoch() != e1 {
+		t.Fatal("epoch advanced without churn")
+	}
+	// Local transfers bypass the network entirely.
+	c.Transfer(5, 5, 1e6, nil)
+	if c.Epoch() != e1 {
+		t.Fatal("epoch advanced on local transfer")
+	}
+	c.Net().Cancel(f)
+	if c.Epoch() == e1 {
+		t.Fatal("epoch did not advance on cancel")
+	}
+}

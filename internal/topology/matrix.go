@@ -75,6 +75,10 @@ func (m *Matrix) PathRate(a, b NodeID) float64 {
 	return m.bps
 }
 
+// Epoch implements the epoch-observer contract for rate caching: Matrix
+// path rates are flat constants, so the epoch never advances.
+func (m *Matrix) Epoch() uint64 { return 0 }
+
 // Transfer completes after bytes/rate seconds with no contention model.
 func (m *Matrix) Transfer(src, dst NodeID, bytes float64, done func()) *Flow {
 	rate := m.PathRate(src, dst)

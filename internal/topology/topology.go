@@ -226,3 +226,8 @@ func (c *Cluster) InjectCrossTraffic(src, dst NodeID) *Flow {
 
 // Net exposes the underlying flow network (for tests and metrics).
 func (c *Cluster) Net() *FlowNet { return c.net }
+
+// Epoch returns the flow network's rate-recomputation counter: PathRate
+// observations are guaranteed unchanged between equal epochs, so derived
+// cost caches can invalidate exactly.
+func (c *Cluster) Epoch() uint64 { return c.net.Epoch() }
