@@ -25,6 +25,7 @@ import (
 	"mapsched/internal/hdfs"
 	"mapsched/internal/job"
 	"mapsched/internal/metrics"
+	"mapsched/internal/obs"
 	"mapsched/internal/sched"
 	"mapsched/internal/sim"
 	"mapsched/internal/topology"
@@ -218,6 +219,43 @@ func benchBatchRun(b *testing.B, k experiments.SchedulerKind) {
 
 func BenchmarkSimulation_Probabilistic(b *testing.B) {
 	benchBatchRun(b, experiments.Probabilistic)
+}
+
+// BenchmarkSimulation_ProbabilisticObserved is the same batch with an
+// observer attached consuming every event. The gap to
+// BenchmarkSimulation_Probabilistic is the cost of the observability
+// layer when it is actually on; with no observer the layer must be free
+// (the <2% budget scripts/bench.sh tracks).
+func BenchmarkSimulation_ProbabilisticObserved(b *testing.B) {
+	s := benchSetup()
+	specs, err := workload.Specs(workload.Batch(workload.Wordcount), s.Workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := engine.New(s.Engine, specs, s.BuilderFor(experiments.Probabilistic))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var seen uint64
+		if err := sim.Attach(obs.Func(func(obs.Event) { seen++ })); err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Unfinished != 0 {
+			b.Fatal("unfinished jobs under observed probabilistic")
+		}
+		if seen == 0 {
+			b.Fatal("observer saw no events")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(seen), "obs_events")
+		}
+	}
 }
 
 // BenchmarkSimulation_ProbabilisticNaive is the reference path: same

@@ -6,6 +6,7 @@
 //	mrsim [-sched probabilistic|coupling|fair] [-workload wordcount|terasort|grep]
 //	      [-scale N] [-seed N] [-nodes N] [-racks N] [-pmin P]
 //	      [-mode hops|netcond] [-crosstraffic N] [-v]
+//	      [-trace FILE] [-events FILE] [-obs-summary]
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		cross     = flag.Int("crosstraffic", 0, "background cross-traffic flows")
 		verbose   = flag.Bool("v", false, "print per-job rows")
 		traceOut  = flag.String("trace", "", "write a JSON task timeline to this file")
+		eventsOut = flag.String("events", "", "write a JSONL event log (scheduler decisions, tasks, flows) to this file")
+		obsSum    = flag.Bool("obs-summary", false, "print streaming observer metrics (locality/skip rates, waits, link volume)")
 	)
 	flag.Parse()
 
@@ -54,7 +57,7 @@ func main() {
 	cfg.Topology.NodesPerRack = *nodes
 	cfg.Topology.Racks = *racks
 
-	res, tr, err := mapsched.RunWithTrace(cfg, batch, kind,
+	sim, err := mapsched.New(cfg, batch, kind,
 		mapsched.WithSeed(*seed),
 		mapsched.WithScale(*scale),
 		mapsched.WithPmin(*pmin),
@@ -63,6 +66,42 @@ func main() {
 	)
 	if err != nil {
 		fatal(err)
+	}
+
+	var eventLog *mapsched.JSONLSink
+	var eventFile *os.File
+	if *eventsOut != "" {
+		eventFile, err = os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		eventLog = mapsched.NewJSONLSink(eventFile)
+		if err := sim.Attach(eventLog); err != nil {
+			fatal(err)
+		}
+	}
+	var summary *mapsched.SummarySink
+	if *obsSum {
+		summary = mapsched.NewSummarySink()
+		if err := sim.Attach(summary); err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := sim.Run()
+	if err != nil {
+		fatal(err)
+	}
+	tr := sim.Trace()
+
+	if eventLog != nil {
+		if err := eventLog.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := eventFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "event log written to %s\n", *eventsOut)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -76,6 +115,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (%d tasks)\n", *traceOut, len(tr.Tasks))
+	}
+	if summary != nil {
+		fmt.Println(summary.String())
 	}
 
 	if *verbose {

@@ -1,11 +1,14 @@
 // Command mrtrace analyzes a JSON task timeline written by mrsim -trace:
 // it prints per-job phase statistics, per-node occupancy, a locality
-// summary, and an ASCII Gantt chart of cluster activity.
+// summary, and an ASCII Gantt chart of cluster activity. It can fold in
+// a JSONL event log written by mrsim -events (scheduler decisions with
+// the C / C_avg / P breakdown, flow events) and export both views as a
+// Chrome trace_event file for chrome://tracing or ui.perfetto.dev.
 //
 // Usage:
 //
-//	mrsim -sched probabilistic -trace run.json
-//	mrtrace [-gantt] [-node N] run.json
+//	mrsim -sched probabilistic -trace run.json -events run.events.jsonl
+//	mrtrace [-gantt] [-node N] [-events run.events.jsonl] [-chrome out.json] run.json
 package main
 
 import (
@@ -16,17 +19,20 @@ import (
 	"strings"
 
 	"mapsched/internal/metrics"
+	"mapsched/internal/obs"
 	"mapsched/internal/trace"
 )
 
 func main() {
 	var (
-		gantt    = flag.Bool("gantt", false, "print an ASCII cluster activity chart")
-		nodeFlag = flag.Int("node", -1, "print the timeline of one node")
+		gantt     = flag.Bool("gantt", false, "print an ASCII cluster activity chart")
+		nodeFlag  = flag.Int("node", -1, "print the timeline of one node")
+		eventsIn  = flag.String("events", "", "JSONL event log (mrsim -events) to summarize and fold into -chrome")
+		chromeOut = flag.String("chrome", "", "write a Chrome trace_event file to this path")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mrtrace [-gantt] [-node N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: mrtrace [-gantt] [-node N] [-events log.jsonl] [-chrome out.json] trace.json")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -39,6 +45,19 @@ func main() {
 		fatal(err)
 	}
 
+	var events []obs.Event
+	if *eventsIn != "" {
+		ef, err := os.Open(*eventsIn)
+		if err != nil {
+			fatal(err)
+		}
+		events, err = obs.ReadJSONL(ef)
+		ef.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Printf("scheduler: %s\n", tr.Scheduler)
 	start, end := tr.Span()
 	fmt.Printf("span: %.1fs .. %.1fs (%d jobs, %d tasks)\n\n", start, end, len(tr.Jobs), len(tr.Tasks))
@@ -47,12 +66,40 @@ func main() {
 	printLocality(tr)
 	printNodes(tr)
 
+	if len(events) > 0 {
+		printEvents(events)
+	}
 	if *nodeFlag >= 0 {
 		printNodeTimeline(tr, *nodeFlag)
 	}
 	if *gantt {
 		printGantt(tr)
 	}
+	if *chromeOut != "" {
+		cf, err := os.Create(*chromeOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChromeWith(cf, events); err != nil {
+			fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace written to %s (%d tasks, %d events)\n",
+			*chromeOut, len(tr.Tasks), len(events))
+	}
+}
+
+// printEvents replays the event log through the streaming summary sink,
+// reproducing exactly what a live -obs-summary run would have printed.
+func printEvents(events []obs.Event) {
+	sum := obs.NewSummary()
+	for _, e := range events {
+		sum.Observe(e)
+	}
+	fmt.Printf("event log: %d events\n", len(events))
+	fmt.Println(sum.String())
 }
 
 func printJobs(tr *trace.Trace) {

@@ -17,6 +17,7 @@ import (
 	"mapsched/internal/hdfs"
 	"mapsched/internal/job"
 	"mapsched/internal/metrics"
+	"mapsched/internal/obs"
 	"mapsched/internal/sched"
 	"mapsched/internal/sim"
 	"mapsched/internal/topology"
@@ -248,6 +249,7 @@ type Simulation struct {
 	state *cluster.State
 	cost  *core.CostModel
 	sch   sched.Scheduler
+	obs   *obs.Stream
 
 	rngEngine *sim.RNG
 	rngJobs   *sim.RNG
@@ -328,8 +330,10 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 		runningReds: make(map[*job.ReduceTask]*reduceRun),
 		stats:       make(map[job.ID]*jobStats),
 		dead:        make(map[topology.NodeID]bool),
+		obs:         obs.NewStream(),
 	}
-	s.sch = builder(sched.Env{Net: topo, Cost: cost, RNG: root.Fork("sched")})
+	topo.Net().SetStream(s.obs)
+	s.sch = builder(sched.Env{Net: topo, Cost: cost, RNG: root.Fork("sched"), Obs: s.obs})
 	if s.sch == nil {
 		return nil, fmt.Errorf("engine: builder returned nil scheduler")
 	}
@@ -355,6 +359,31 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 
 // Cost exposes the cost model (for tests).
 func (s *Simulation) Cost() *core.CostModel { return s.cost }
+
+// Attach subscribes an observer to the simulation's event stream. It must
+// be called before Run: attaching mid-run would see a stream missing its
+// prefix, which defeats the reproducibility guarantee.
+func (s *Simulation) Attach(o obs.Observer) error {
+	if s.ran {
+		return fmt.Errorf("engine: Attach after Run")
+	}
+	if o == nil {
+		return fmt.Errorf("engine: Attach of nil observer")
+	}
+	s.obs.Attach(o)
+	return nil
+}
+
+// taskEvent seeds a task-lifecycle observation.
+func (s *Simulation) taskEvent(t obs.Type, node topology.NodeID, j *job.Job, kind string, index int) obs.Event {
+	return obs.Event{
+		T:    float64(s.eng.Now()),
+		Type: t,
+		Node: int(node),
+		Job:  j.Spec.Name,
+		Task: &obs.TaskRef{Kind: kind, Index: index},
+	}
+}
 
 // Jobs exposes the instantiated jobs after Run, for invariant checks.
 func (s *Simulation) Jobs() []*job.Job { return s.jobs }
@@ -419,6 +448,9 @@ func (s *Simulation) submit(id job.ID, spec job.Spec) {
 	s.jobs = append(s.jobs, j)
 	s.active = append(s.active, j)
 	s.stats[j.ID] = &jobStats{}
+	if s.obs.Enabled() {
+		s.obs.Emit(obs.Event{T: float64(j.Submitted), Type: obs.JobSubmit, Node: -1, Job: j.Spec.Name})
+	}
 }
 
 // allDone reports whether every submitted job finished and no submissions
@@ -529,6 +561,12 @@ func (s *Simulation) launchMap(m *job.MapTask, n topology.NodeID) bool {
 	m.Node = n
 	m.Locality = s.cost.Locality(m, n)
 	m.Launch = s.eng.Now()
+	if s.obs.Enabled() {
+		e := s.taskEvent(obs.TaskStart, n, m.Job, "map", m.Index)
+		e.Locality = m.Locality.String()
+		e.Wait = float64(m.Launch - m.Job.Submitted)
+		s.obs.Emit(e)
+	}
 	run := &mapRun{}
 	s.runningMaps[m] = run
 	s.startAttempt(m, run, n)
@@ -608,6 +646,9 @@ func (s *Simulation) winMap(m *job.MapTask, run *mapRun, winner *mapAttempt) {
 	}
 	if winner != run.attempts[0] {
 		s.specWins++
+		if s.obs.Enabled() {
+			s.obs.Emit(s.taskEvent(obs.SpecWin, winner.node, m.Job, "map", m.Index))
+		}
 	}
 	winner.dead = true // no further callbacks
 	m.State = job.TaskDone
@@ -619,6 +660,12 @@ func (s *Simulation) winMap(m *job.MapTask, run *mapRun, winner *mapAttempt) {
 	s.state.Node(winner.node).ReleaseMap()
 	s.sampleUtil()
 	s.mapTimes = append(s.mapTimes, float64(m.Finish-winner.launch))
+	if s.obs.Enabled() {
+		e := s.taskEvent(obs.TaskFinish, winner.node, m.Job, "map", m.Index)
+		e.Locality = m.Locality.String()
+		e.Dur = float64(m.Finish - winner.launch)
+		s.obs.Emit(e)
+	}
 
 	j := m.Job
 	j.DoneMaps++
@@ -687,6 +734,9 @@ func (s *Simulation) trySpeculate(n topology.NodeID) bool {
 	}
 	s.sampleUtil()
 	s.speculated++
+	if s.obs.Enabled() {
+		s.obs.Emit(s.taskEvent(obs.SpecStart, n, worst.Job, "map", worst.Index))
+	}
 	s.startAttempt(worst, worstRun, n)
 	return true
 }
@@ -705,6 +755,12 @@ func (s *Simulation) launchReduce(r *job.ReduceTask, n topology.NodeID) {
 	r.Node = n
 	r.Launch = s.eng.Now()
 	r.Locality = s.reduceLocality(r.Job, n)
+	if s.obs.Enabled() {
+		e := s.taskEvent(obs.TaskStart, n, r.Job, "reduce", r.Index)
+		e.Locality = r.Locality.String()
+		e.Wait = float64(r.Launch - r.Job.Submitted)
+		s.obs.Emit(e)
+	}
 	run := &reduceRun{
 		pendingSrc: make(map[topology.NodeID]*srcBucket),
 		flights:    make(map[*topology.Flow]*flight),
@@ -815,6 +871,12 @@ func (s *Simulation) finishReduce(r *job.ReduceTask) {
 	s.state.Node(r.Node).ReleaseReduce()
 	s.sampleUtil()
 	s.reduceTimes = append(s.reduceTimes, r.RunTime())
+	if s.obs.Enabled() {
+		e := s.taskEvent(obs.TaskFinish, r.Node, r.Job, "reduce", r.Index)
+		e.Locality = r.Locality.String()
+		e.Dur = r.RunTime()
+		s.obs.Emit(e)
+	}
 
 	j := r.Job
 	j.DoneReds++
@@ -826,6 +888,11 @@ func (s *Simulation) finishReduce(r *job.ReduceTask) {
 				break
 			}
 		}
+		if s.obs.Enabled() {
+			e := obs.Event{T: float64(j.Finished), Type: obs.JobFinish, Node: -1, Job: j.Spec.Name}
+			e.Dur = float64(j.Finished - j.Submitted)
+			s.obs.Emit(e)
+		}
 	}
 }
 
@@ -835,6 +902,9 @@ func (s *Simulation) finishReduce(r *job.ReduceTask) {
 func (s *Simulation) failNode(d topology.NodeID) {
 	if s.dead[d] {
 		return
+	}
+	if s.obs.Enabled() {
+		s.obs.Emit(obs.Event{T: float64(s.eng.Now()), Type: obs.NodeFail, Node: int(d)})
 	}
 	// Deterministic iteration over the running-task maps: sort by
 	// (job, index) so flow cancellations happen in a reproducible order.
@@ -905,6 +975,11 @@ func (s *Simulation) failNode(d topology.NodeID) {
 			m.State = job.TaskPending
 			m.Progress = 0
 			m.Node = -1
+			if s.obs.Enabled() {
+				e := s.taskEvent(obs.TaskRelaunch, d, m.Job, "map", m.Index)
+				e.Reason = "attempt_lost"
+				s.obs.Emit(e)
+			}
 		}
 	}
 
@@ -935,6 +1010,11 @@ func (s *Simulation) failNode(d topology.NodeID) {
 		r.ShuffledBytes = 0
 		r.Locality = job.LocalityUnknown
 		s.relaunchedReduces++
+		if s.obs.Enabled() {
+			e := s.taskEvent(obs.TaskRelaunch, d, r.Job, "reduce", r.Index)
+			e.Reason = "host_failed"
+			s.obs.Emit(e)
+		}
 	}
 
 	// 4. Re-execute completed maps whose output lived on d and is still
@@ -952,6 +1032,11 @@ func (s *Simulation) failNode(d topology.NodeID) {
 			m.Node = -1
 			j.DoneMaps--
 			s.relaunchedMaps++
+			if s.obs.Enabled() {
+				e := s.taskEvent(obs.TaskRelaunch, d, m.Job, "map", m.Index)
+				e.Reason = "output_lost"
+				s.obs.Emit(e)
+			}
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"mapsched/internal/core"
 	"mapsched/internal/job"
+	"mapsched/internal/obs"
 	"mapsched/internal/topology"
 )
 
@@ -79,8 +80,9 @@ func (c *Coupling) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 		if m == nil {
 			m = pending[c.env.RNG.Intn(len(pending))]
 		}
+		loc := c.env.Cost.Locality(m, node)
 		var p float64
-		switch c.env.Cost.Locality(m, node) {
+		switch loc {
 		case job.LocalNode:
 			p = c.cfg.PLocal
 		case job.LocalRack:
@@ -89,12 +91,35 @@ func (c *Coupling) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 			p = c.cfg.PRemote
 		}
 		if c.env.RNG.Bernoulli(p) {
+			if c.env.Obs.Enabled() {
+				e := decisionEvent(obs.TaskAssign, ctx.Now, node, j, "map", m.Index)
+				e.Locality = loc.String()
+				e.Decision = &obs.Decision{P: p, Draw: "accept"}
+				c.env.Obs.Emit(e)
+			}
 			return m
+		}
+		if c.env.Obs.Enabled() {
+			e := decisionEvent(obs.TaskSkip, ctx.Now, node, j, "map", m.Index)
+			e.Locality = loc.String()
+			e.Decision = &obs.Decision{P: p, Draw: "decline"}
+			e.Reason = "locality_draw"
+			c.env.Obs.Emit(e)
 		}
 		// Declined for this job: the job-level scheduler offers the slot
 		// to the next job in fair order.
 	}
 	return nil
+}
+
+// emitReduce publishes a coupling reduce assignment and passes it through.
+func (c *Coupling) emitReduce(ctx *Context, node topology.NodeID, r *job.ReduceTask, reason string) *job.ReduceTask {
+	if c.env.Obs.Enabled() {
+		e := decisionEvent(obs.TaskAssign, ctx.Now, node, r.Job, "reduce", r.Index)
+		e.Reason = reason
+		c.env.Obs.Emit(e)
+	}
+	return r
 }
 
 // AssignReduce paces reduce launches with map progress and places each
@@ -134,14 +159,19 @@ func (c *Coupling) AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceT
 		}
 		if central == node || bestVol == 0 {
 			delete(c.waits, best)
-			return best
+			return c.emitReduce(ctx, node, best, "centrality")
 		}
 		// Not the centrality node: wait, up to the bound.
 		if c.waits[best] >= c.cfg.MaxWaitRounds {
 			delete(c.waits, best)
-			return best
+			return c.emitReduce(ctx, node, best, "wait_expired")
 		}
 		c.waits[best]++
+		if c.env.Obs.Enabled() {
+			e := decisionEvent(obs.TaskSkip, ctx.Now, node, j, "reduce", best.Index)
+			e.Reason = "wait_centrality"
+			c.env.Obs.Emit(e)
+		}
 		return nil
 	}
 	return nil

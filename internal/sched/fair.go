@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mapsched/internal/job"
+	"mapsched/internal/obs"
 	"mapsched/internal/topology"
 )
 
@@ -77,27 +78,44 @@ func (f *FairDelay) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 		}
 		if local != nil {
 			f.skips[j.ID] = 0
-			return local
+			return f.emitAssign(ctx, node, local, "")
 		}
 		skips := f.skips[j.ID]
 		if skips >= f.cfg.NodeLocalSkips && rack != nil {
 			f.skips[j.ID] = 0
-			return rack
+			return f.emitAssign(ctx, node, rack, "delay_expired")
 		}
 		if skips >= f.cfg.NodeLocalSkips+f.cfg.RackLocalSkips {
 			f.skips[j.ID] = 0
 			if rack != nil {
-				return rack
+				return f.emitAssign(ctx, node, rack, "delay_expired")
 			}
 			if any != nil {
-				return any
+				return f.emitAssign(ctx, node, any, "delay_expired")
 			}
-			return pending[0]
+			return f.emitAssign(ctx, node, pending[0], "delay_expired")
 		}
 		// Skip this job for locality and let the next job try this slot.
 		f.skips[j.ID]++
+		if f.env.Obs.Enabled() {
+			e := decisionEvent(obs.TaskSkip, ctx.Now, node, j, "map", -1)
+			e.Reason = "delay"
+			f.env.Obs.Emit(e)
+		}
 	}
 	return nil
+}
+
+// emitAssign publishes the map assignment (with its realized locality)
+// and passes the task through.
+func (f *FairDelay) emitAssign(ctx *Context, node topology.NodeID, m *job.MapTask, reason string) *job.MapTask {
+	if f.env.Obs.Enabled() {
+		e := decisionEvent(obs.TaskAssign, ctx.Now, node, m.Job, "map", m.Index)
+		e.Locality = f.env.Cost.Locality(m, node).String()
+		e.Reason = reason
+		f.env.Obs.Emit(e)
+	}
+	return m
 }
 
 // AssignReduce launches the next pending reduce of the first eligible job
@@ -110,7 +128,13 @@ func (f *FairDelay) AssignReduce(ctx *Context, node topology.NodeID) *job.Reduce
 		}
 		// "Randomly selects a reduce task": partitions are interchangeable
 		// at this point, draw one uniformly.
-		return pending[f.env.RNG.Intn(len(pending))]
+		r := pending[f.env.RNG.Intn(len(pending))]
+		if f.env.Obs.Enabled() {
+			e := decisionEvent(obs.TaskAssign, ctx.Now, node, j, "reduce", r.Index)
+			e.Reason = "random"
+			f.env.Obs.Emit(e)
+		}
+		return r
 	}
 	return nil
 }

@@ -1,0 +1,21 @@
+package sched
+
+import (
+	"mapsched/internal/job"
+	"mapsched/internal/obs"
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+)
+
+// decisionEvent seeds a scheduler-decision observation: the offered node,
+// the job under consideration and the task (Index -1 when the decision
+// concerns the job as a whole, e.g. a delay-scheduling skip).
+func decisionEvent(t obs.Type, now sim.Time, node topology.NodeID, j *job.Job, kind string, index int) obs.Event {
+	return obs.Event{
+		T:    float64(now),
+		Type: t,
+		Node: int(node),
+		Job:  j.Spec.Name,
+		Task: &obs.TaskRef{Kind: kind, Index: index},
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"mapsched/internal/core"
 	"mapsched/internal/job"
+	"mapsched/internal/obs"
 	"mapsched/internal/sim"
 	"mapsched/internal/topology"
 )
@@ -172,6 +173,10 @@ func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTa
 		if c.Cost == 0 {
 			// Data-local placement for the fairest job that has one:
 			// assign instantly (Algorithm 1: P_mj = 1 when C = 0).
+			if p.env.Obs.Enabled() {
+				p.emitChoice(ctx, node, obs.TaskAssign, c,
+					&obs.Decision{C: 0, CAvg: c.AvgCost, P: 1, PMin: p.cfg.Pmin, Draw: "local"}, "")
+			}
 			return c.MapTask
 		}
 		if !found || c.Saving() > best.Saving() {
@@ -183,13 +188,64 @@ func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTa
 		return nil
 	}
 	prob := p.cfg.Model.Prob(best.AvgCost, best.Cost)
+	if t, ok := p.gate(ctx, node, best, prob); ok {
+		return t.MapTask
+	}
+	return nil
+}
+
+// gate runs the shared tail of Algorithms 1 and 2: the P_min threshold
+// (lines 10-12 / 11-13) and the Bernoulli draw, emitting the offer /
+// assign / skip events with the Formula 1-5 breakdown when a sink is
+// attached. The Bernoulli draw consumes exactly the same RNG stream
+// whether or not observers are attached.
+func (p *Probabilistic) gate(ctx *Context, node topology.NodeID, best core.Choice, prob float64) (core.Choice, bool) {
+	emit := p.env.Obs.Enabled()
+	if emit {
+		p.emitChoice(ctx, node, obs.TaskOffer, best,
+			&obs.Decision{C: best.Cost, CAvg: best.AvgCost, P: prob, PMin: p.cfg.Pmin}, "")
+	}
 	if prob < p.cfg.Pmin {
-		return nil // Algorithm 1 lines 10-12: skip this node
+		if emit {
+			p.emitChoice(ctx, node, obs.TaskSkip, best,
+				&obs.Decision{C: best.Cost, CAvg: best.AvgCost, P: prob, PMin: p.cfg.Pmin, Draw: "below_pmin"}, "below_pmin")
+		}
+		return best, false // skip this node
 	}
 	if p.cfg.Deterministic || p.env.RNG.Bernoulli(prob) {
-		return best.MapTask
+		if emit {
+			draw := "accept"
+			if p.cfg.Deterministic {
+				draw = "deterministic"
+			}
+			p.emitChoice(ctx, node, obs.TaskAssign, best,
+				&obs.Decision{C: best.Cost, CAvg: best.AvgCost, P: prob, PMin: p.cfg.Pmin, Draw: draw}, "")
+		}
+		return best, true
 	}
-	return nil // Bernoulli declined: slot stays idle this round
+	if emit {
+		p.emitChoice(ctx, node, obs.TaskSkip, best,
+			&obs.Decision{C: best.Cost, CAvg: best.AvgCost, P: prob, PMin: p.cfg.Pmin, Draw: "decline"}, "declined")
+	}
+	return best, false // Bernoulli declined: slot stays idle this round
+}
+
+// emitChoice publishes one decision event for the chosen candidate.
+func (p *Probabilistic) emitChoice(ctx *Context, node topology.NodeID, t obs.Type, c core.Choice, d *obs.Decision, reason string) {
+	kind, idx := "map", 0
+	var j *job.Job
+	if c.MapTask != nil {
+		j, idx = c.MapTask.Job, c.MapTask.Index
+	} else {
+		kind, j, idx = "reduce", c.ReduceTask.Job, c.ReduceTask.Index
+	}
+	e := decisionEvent(t, ctx.Now, node, j, kind, idx)
+	e.Decision = d
+	e.Reason = reason
+	if t == obs.TaskAssign && c.MapTask != nil {
+		e.Locality = p.env.Cost.Locality(c.MapTask, node).String()
+	}
+	p.env.Obs.Emit(e)
 }
 
 // AssignReduce implements Algorithm 2 on the offered node, pooling
@@ -210,13 +266,10 @@ func (p *Probabilistic) AssignReduce(ctx *Context, node topology.NodeID) *job.Re
 		return nil
 	}
 	prob := p.cfg.Model.Prob(best.AvgCost, best.Cost)
-	if prob < p.cfg.Pmin {
-		return nil // Algorithm 2 lines 11-13: skip this node
+	if t, ok := p.gate(ctx, node, best, prob); ok {
+		return t.ReduceTask
 	}
-	if p.cfg.Deterministic || p.env.RNG.Bernoulli(prob) {
-		return best.ReduceTask
-	}
-	return nil // Bernoulli declined: slot stays idle this round
+	return nil
 }
 
 func (p *Probabilistic) selectReduce(ctx *Context, node topology.NodeID, spread bool) (core.Choice, bool) {

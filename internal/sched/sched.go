@@ -19,6 +19,7 @@ import (
 
 	"mapsched/internal/core"
 	"mapsched/internal/job"
+	"mapsched/internal/obs"
 	"mapsched/internal/sim"
 	"mapsched/internal/topology"
 )
@@ -28,6 +29,10 @@ type Env struct {
 	Net  topology.Network
 	Cost *core.CostModel
 	RNG  *sim.RNG
+	// Obs receives task_offer / task_assign / task_skip events carrying the
+	// decision breakdown. A nil stream (the default outside a full
+	// simulation) disables emission at the cost of one comparison.
+	Obs *obs.Stream
 }
 
 // Context is the cluster snapshot for one assignment decision. The engine

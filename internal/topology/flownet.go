@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"mapsched/internal/obs"
 	"mapsched/internal/sim"
 )
 
@@ -29,6 +30,12 @@ type Flow struct {
 	next   float64 // scratch rate assigned by the current filling pass
 	frozen bool    // scratch flag for progressive filling
 	visit  uint64  // scratch stamp for component discovery
+
+	// Node endpoints for observability; -1 when the caller did not tag
+	// the flow. announced suppresses flow_rate events until the
+	// flow_start event (carrying the initial share) has been emitted.
+	src, dst  NodeID
+	announced bool
 }
 
 // Rate returns the flow's current bandwidth share in bytes/second.
@@ -88,6 +95,10 @@ type FlowNet struct {
 	started   int64
 	completed int64
 	bytesDone float64
+
+	// obs receives flow_start / flow_rate / flow_finish events when a
+	// sink is attached; a nil stream costs one comparison per churn.
+	obs *obs.Stream
 }
 
 // NewFlowNet returns an empty network bound to eng.
@@ -102,6 +113,36 @@ func (n *FlowNet) SetCongestionAlpha(alpha float64) {
 		alpha = 0
 	}
 	n.alpha = alpha
+}
+
+// SetStream attaches the observability stream flow events are emitted
+// on. A nil stream (the default) disables emission entirely.
+func (n *FlowNet) SetStream(st *obs.Stream) { n.obs = st }
+
+// flowEvent builds the observation for f. links are included only on
+// flow_start (they never change afterwards).
+func (n *FlowNet) flowEvent(t obs.Type, f *Flow, withLinks bool, reason string) obs.Event {
+	info := &obs.FlowInfo{
+		ID:         f.id,
+		Src:        int(f.src),
+		Dst:        int(f.dst),
+		Bytes:      f.total,
+		Rate:       f.rate,
+		Persistent: f.persistent,
+	}
+	if withLinks {
+		info.Links = make([]int, len(f.links))
+		for i, l := range f.links {
+			info.Links[i] = int(l)
+		}
+	}
+	return obs.Event{
+		T:      float64(n.eng.Now()),
+		Type:   t,
+		Node:   int(f.dst),
+		Reason: reason,
+		Flow:   info,
+	}
 }
 
 // SetForceFullRecompute disables the incremental component-local recompute,
@@ -158,15 +199,28 @@ func (n *FlowNet) BytesDelivered() float64 { return n.bytesDone }
 // (if non-nil) at completion. Zero or negative sizes complete immediately
 // via a zero-delay event so callbacks still run in event order.
 func (n *FlowNet) StartFlow(path []LinkID, bytes float64, done func()) *Flow {
+	return n.StartFlowBetween(-1, -1, path, bytes, done)
+}
+
+// StartFlowBetween is StartFlow with the flow tagged by its source and
+// destination node, so flow events carry endpoints the FlowNet itself
+// does not know about.
+func (n *FlowNet) StartFlowBetween(src, dst NodeID, path []LinkID, bytes float64, done func()) *Flow {
 	if len(path) == 0 {
 		panic("topology: StartFlow with empty path; use LocalTransfer")
 	}
-	f := &Flow{id: n.started, links: path, total: bytes, remaining: bytes, done: done, lastUpdate: n.eng.Now()}
+	f := &Flow{id: n.started, links: path, total: bytes, remaining: bytes, done: done, lastUpdate: n.eng.Now(), src: src, dst: dst}
 	n.started++
 	if bytes <= 0 {
 		f.finished = true
 		n.completed++
+		if n.obs.Enabled() {
+			n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+		}
 		n.eng.After(0, func() {
+			if n.obs.Enabled() {
+				n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, ""))
+			}
 			if done != nil {
 				done()
 			}
@@ -175,35 +229,61 @@ func (n *FlowNet) StartFlow(path []LinkID, bytes float64, done func()) *Flow {
 	}
 	n.attach(f)
 	n.recompute(f)
+	if n.obs.Enabled() {
+		n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+	}
+	f.announced = true
 	return f
 }
 
 // StartPersistentFlow begins a background flow that never completes (until
 // cancelled) and always consumes its fair share on the path.
 func (n *FlowNet) StartPersistentFlow(path []LinkID) *Flow {
-	f := &Flow{id: n.started, links: path, remaining: math.Inf(1), persistent: true, lastUpdate: n.eng.Now()}
+	return n.StartPersistentFlowBetween(-1, -1, path)
+}
+
+// StartPersistentFlowBetween is StartPersistentFlow with node endpoints
+// attached for observability.
+func (n *FlowNet) StartPersistentFlowBetween(src, dst NodeID, path []LinkID) *Flow {
+	f := &Flow{id: n.started, links: path, remaining: math.Inf(1), persistent: true, lastUpdate: n.eng.Now(), src: src, dst: dst}
 	n.started++
 	n.attach(f)
 	n.recompute(f)
+	if n.obs.Enabled() {
+		n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+	}
+	f.announced = true
 	return f
 }
 
 // LocalTransfer models a same-node disk read at the given bandwidth; it
 // does not contend with network flows.
 func (n *FlowNet) LocalTransfer(bytes, diskBps float64, done func()) *Flow {
+	return n.LocalTransferAt(-1, bytes, diskBps, done)
+}
+
+// LocalTransferAt is LocalTransfer tagged with the node whose disk
+// serves the read.
+func (n *FlowNet) LocalTransferAt(node NodeID, bytes, diskBps float64, done func()) *Flow {
 	if diskBps <= 0 {
 		panic(fmt.Sprintf("topology: disk bandwidth %v must be positive", diskBps))
 	}
 	if bytes < 0 {
 		bytes = 0
 	}
-	f := &Flow{total: bytes, remaining: bytes, rate: diskBps, lastUpdate: n.eng.Now()}
+	f := &Flow{total: bytes, remaining: bytes, rate: diskBps, lastUpdate: n.eng.Now(), src: node, dst: node}
 	n.started++
+	if n.obs.Enabled() {
+		n.obs.Emit(n.flowEvent(obs.FlowStart, f, false, "local"))
+	}
 	n.eng.After(bytes/diskBps, func() {
 		f.finished = true
 		f.remaining = 0
 		n.completed++
 		n.bytesDone += bytes
+		if n.obs.Enabled() {
+			n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, "local"))
+		}
 		if done != nil {
 			done()
 		}
@@ -221,6 +301,9 @@ func (n *FlowNet) Cancel(f *Flow) {
 	f.finished = true
 	n.detach(f)
 	n.recompute(f)
+	if n.obs.Enabled() {
+		n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, "cancel"))
+	}
 }
 
 // attach registers f on every link of its path and in the live list.
@@ -452,12 +535,16 @@ func (n *FlowNet) fill(links []int, flows []*Flow) {
 	// Apply changed shares: settle progress under the old rate, then
 	// reschedule the completion under the new one. Physically remove stale
 	// events so long shuffle phases do not bloat the event heap.
+	emit := n.obs.Enabled()
 	for _, f := range flows {
 		if f.next == f.rate {
 			continue
 		}
 		n.settle(f)
 		f.rate = f.next
+		if emit && f.announced {
+			n.obs.Emit(n.flowEvent(obs.FlowRate, f, false, ""))
+		}
 		if f.doneEv != nil {
 			f.doneEv.Cancel()
 			n.eng.Remove(f.doneEv)
@@ -487,6 +574,9 @@ func (n *FlowNet) finish(f *Flow) {
 	// Recompute before the callback so any transfers the callback starts
 	// see post-departure shares.
 	n.recompute(f)
+	if n.obs.Enabled() {
+		n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, ""))
+	}
 	if f.done != nil {
 		f.done()
 	}

@@ -209,9 +209,9 @@ func (c *Cluster) PathRate(a, b NodeID) float64 {
 // the shared network; local transfers are limited by disk bandwidth.
 func (c *Cluster) Transfer(src, dst NodeID, bytes float64, done func()) *Flow {
 	if src == dst {
-		return c.net.LocalTransfer(bytes, c.spec.DiskBps, done)
+		return c.net.LocalTransferAt(src, bytes, c.spec.DiskBps, done)
 	}
-	return c.net.StartFlow(c.path(src, dst), bytes, done)
+	return c.net.StartFlowBetween(src, dst, c.path(src, dst), bytes, done)
 }
 
 // InjectCrossTraffic starts a permanent background flow between two hosts
@@ -221,7 +221,7 @@ func (c *Cluster) InjectCrossTraffic(src, dst NodeID) *Flow {
 	if src == dst {
 		return nil
 	}
-	return c.net.StartPersistentFlow(c.path(src, dst))
+	return c.net.StartPersistentFlowBetween(src, dst, c.path(src, dst))
 }
 
 // Net exposes the underlying flow network (for tests and metrics).

@@ -11,11 +11,22 @@
 //
 // Quick start:
 //
-//	cfg := mapsched.DefaultClusterConfig()
-//	res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Wordcount),
+//	sim, err := mapsched.New(mapsched.DefaultClusterConfig(),
+//	        mapsched.Batch(mapsched.Wordcount),
 //	        mapsched.SchedulerProbabilistic, mapsched.WithSeed(1))
 //	if err != nil { ... }
+//	res, err := sim.Run()
+//	if err != nil { ... }
 //	fmt.Println(res.JobCompletionCDF().Quantile(0.5))
+//
+// Attach observers before Run to stream scheduler decisions (with the
+// paper's C, C_avg, P breakdown), task lifecycle and network-flow events:
+//
+//	var buf bytes.Buffer
+//	log := mapsched.NewJSONLSink(&buf)
+//	sim, _ := mapsched.New(cfg, defs, kind, mapsched.WithObserver(log))
+//	res, _ := sim.Run()
+//	_ = log.Flush() // buf now holds one JSON event per line
 //
 // The internal/experiments package (driven by cmd/experiments and the
 // root-level benchmarks) regenerates every table and figure of the
@@ -24,11 +35,13 @@ package mapsched
 
 import (
 	"fmt"
+	"io"
 
 	"mapsched/internal/core"
 	"mapsched/internal/engine"
 	"mapsched/internal/experiments"
 	"mapsched/internal/hdfs"
+	"mapsched/internal/obs"
 	"mapsched/internal/sched"
 	"mapsched/internal/trace"
 	"mapsched/internal/workload"
@@ -88,18 +101,23 @@ func TableII() []JobDef { return workload.TableII() }
 // Batch returns the 10-job batch of one application class.
 func Batch(k Kind) []JobDef { return workload.Batch(k) }
 
-// options collects Run's functional options.
+// options collects New's functional options. Every optional int carries a
+// set flag so explicit zero values ("no cross traffic", "no storage
+// subset") are expressible and distinguishable from "not specified".
 type options struct {
-	seed          int64
-	pmin          float64
-	scale         int
-	replication   int
-	estimator     core.Estimator
-	costMode      core.Mode
-	costModeSet   bool
-	crossTraffic  int
-	deterministic bool
-	storageSubset int
+	seed             int64
+	pmin             float64
+	scale            int
+	replication      int
+	estimator        core.Estimator
+	costMode         core.Mode
+	costModeSet      bool
+	crossTraffic     int
+	crossTrafficSet  bool
+	deterministic    bool
+	storageSubset    int
+	storageSubsetSet bool
+	observers        []obs.Observer
 }
 
 // Option customizes Run.
@@ -129,8 +147,11 @@ func WithCostMode(m CostMode) Option {
 }
 
 // WithCrossTraffic injects persistent background flows between random
-// node pairs.
-func WithCrossTraffic(n int) Option { return func(o *options) { o.crossTraffic = n } }
+// node pairs. An explicit 0 disables cross traffic even when the cluster
+// config requests some.
+func WithCrossTraffic(n int) Option {
+	return func(o *options) { o.crossTraffic = n; o.crossTrafficSet = true }
+}
 
 // WithDeterministic replaces the Bernoulli assignment with greedy
 // minimum-cost assignment (the Section II-C ablation).
@@ -138,33 +159,83 @@ func WithDeterministic() Option { return func(o *options) { o.deterministic = tr
 
 // WithStorageSubset confines all input-block replicas to the first k
 // nodes, modelling NAS/SAN-style storage on a subset of the cluster (the
-// scenario the paper's introduction motivates).
-func WithStorageSubset(k int) Option { return func(o *options) { o.storageSubset = k } }
+// scenario the paper's introduction motivates). An explicit 0 restores
+// the default whole-cluster placement.
+func WithStorageSubset(k int) Option {
+	return func(o *options) { o.storageSubset = k; o.storageSubsetSet = true }
+}
+
+// WithObserver attaches an event sink at construction time; equivalent to
+// calling Simulation.Attach before Run. May be given several times.
+func WithObserver(o Observer) Option {
+	return func(opts *options) { opts.observers = append(opts.observers, o) }
+}
 
 // Trace is a JSON-exportable task timeline of a run.
 type Trace = trace.Trace
 
-// Run simulates the given jobs on a cluster under the chosen scheduler
-// and returns the collected metrics.
-func Run(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, error) {
-	res, _, err := RunWithTrace(cfg, defs, kind, opts...)
-	return res, err
+// Observability re-exports: the event stream types and built-in sinks of
+// internal/obs, so observers can be written against the public package.
+type (
+	// Observer consumes simulation events; see WithObserver and
+	// Simulation.Attach.
+	Observer = obs.Observer
+	// Event is one observation of the stream.
+	Event = obs.Event
+	// EventType enumerates the event kinds (obs.TaskAssign, ...).
+	EventType = obs.Type
+	// DecisionInfo is the Formula 1-5 breakdown behind one scheduling
+	// decision (C, C_avg, P, P_min, draw outcome).
+	DecisionInfo = obs.Decision
+	// ObserverFunc adapts a plain function to the Observer interface.
+	ObserverFunc = obs.Func
+	// JSONLSink streams events as one JSON object per line.
+	JSONLSink = obs.JSONL
+	// SummarySink folds the stream into counters and histograms.
+	SummarySink = obs.Summary
+)
+
+// NewJSONLSink returns an event-log sink writing one JSON object per
+// event to w. Call Flush after the run to drain the buffer and collect
+// the first write error.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONL(w) }
+
+// NewSummarySink returns a streaming-metrics sink (locality hit rate,
+// skip rate, queue waits, per-link volume).
+func NewSummarySink() *SummarySink { return obs.NewSummary() }
+
+// ReadEventLog parses a log written by a JSONLSink.
+func ReadEventLog(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
+
+// Simulation is one configured run: construct with New, optionally
+// Attach observers, then Run once and read Result / Trace.
+type Simulation struct {
+	sim *engine.Simulation
+	res *engine.Result
 }
 
-// RunWithTrace is Run plus the task timeline of the simulation.
-func RunWithTrace(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, *Trace, error) {
+// New builds a simulation of the given jobs on a cluster under the chosen
+// scheduler. The configuration is validated here, so errors surface
+// before any observer or runtime state exists.
+func New(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Simulation, error) {
 	o := options{seed: 1, pmin: 0.4, scale: 6, replication: 2}
 	for _, apply := range opts {
 		apply(&o)
 	}
 	if len(defs) == 0 {
-		return nil, nil, fmt.Errorf("mapsched: no jobs to run")
+		return nil, fmt.Errorf("mapsched: no jobs to run")
+	}
+	if o.crossTrafficSet && o.crossTraffic < 0 {
+		return nil, fmt.Errorf("mapsched: negative cross traffic %d", o.crossTraffic)
+	}
+	if o.storageSubsetSet && o.storageSubset < 0 {
+		return nil, fmt.Errorf("mapsched: negative storage subset %d", o.storageSubset)
 	}
 	cfg.Seed = o.seed
 	if o.costModeSet {
 		cfg.CostMode = o.costMode
 	}
-	if o.crossTraffic > 0 {
+	if o.crossTrafficSet {
 		cfg.CrossTraffic = o.crossTraffic
 	}
 	wo := workload.Options{
@@ -172,12 +243,12 @@ func RunWithTrace(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...
 		Replication:   o.replication,
 		SubmitStagger: 1,
 	}
-	if o.storageSubset > 0 {
+	if o.storageSubsetSet && o.storageSubset > 0 {
 		wo.Placement = hdfs.Subset{K: o.storageSubset}
 	}
 	specs, err := workload.Specs(defs, wo)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var builder sched.Builder
 	switch kind {
@@ -194,15 +265,72 @@ func RunWithTrace(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...
 	case experiments.Fair:
 		builder = sched.NewFairDelay(sched.DefaultFairDelayConfig())
 	default:
-		return nil, nil, fmt.Errorf("mapsched: unknown scheduler kind %v", kind)
+		return nil, fmt.Errorf("mapsched: unknown scheduler kind %v", kind)
 	}
-	sim, err := engine.New(cfg, specs, builder)
+	eng, err := engine.New(cfg, specs, builder)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{sim: eng}
+	for _, ob := range o.observers {
+		if err := s.Attach(ob); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Attach subscribes an observer to the simulation's event stream; it must
+// happen before Run. Attached observers receive scheduler decisions,
+// task lifecycle and flow events synchronously, in simulation order, and
+// never influence the run: results are bit-identical with or without
+// observers.
+func (s *Simulation) Attach(o Observer) error { return s.sim.Attach(o) }
+
+// Run executes the simulation to completion (or the configured horizon)
+// and returns the collected metrics. Run may be called once.
+func (s *Simulation) Run() (*Result, error) {
+	res, err := s.sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	s.res = res
+	return res, nil
+}
+
+// Result returns the metrics of a completed run, or an error when Run has
+// not succeeded yet.
+func (s *Simulation) Result() (*Result, error) {
+	if s.res == nil {
+		return nil, fmt.Errorf("mapsched: Result before a successful Run")
+	}
+	return s.res, nil
+}
+
+// Trace returns the task timeline of the simulation; call it after Run.
+func (s *Simulation) Trace() *Trace { return s.sim.Trace() }
+
+// Run simulates the given jobs on a cluster under the chosen scheduler
+// and returns the collected metrics.
+//
+// Deprecated: use New followed by Simulation.Run, which also supports
+// attaching observers.
+func Run(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, error) {
+	res, _, err := RunWithTrace(cfg, defs, kind, opts...)
+	return res, err
+}
+
+// RunWithTrace is Run plus the task timeline of the simulation.
+//
+// Deprecated: use New followed by Simulation.Run and Simulation.Trace.
+func RunWithTrace(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, *Trace, error) {
+	s, err := New(cfg, defs, kind, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := sim.Run()
+	res, err := s.Run()
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, sim.Trace(), nil
+	return res, s.Trace(), nil
 }
