@@ -22,10 +22,13 @@ race:
 	$(GO) test -race ./...
 
 # Quick smoke of the performance-critical benchmarks (fixed small
-# iteration counts; seconds, not minutes).
+# iteration counts; seconds, not minutes). The fault-churn macro bench
+# runs once so recovery-path regressions and stalls surface in CI.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCore_|BenchmarkTopology_FlowChurn' \
 		-benchmem -benchtime 200x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulation_FaultChurn' \
+		-benchmem -benchtime 1x .
 
 # Full benchmark pass; records results in BENCH_baseline.json.
 bench:

@@ -22,6 +22,7 @@ import (
 	"mapsched/internal/core"
 	"mapsched/internal/engine"
 	"mapsched/internal/experiments"
+	"mapsched/internal/faults"
 	"mapsched/internal/hdfs"
 	"mapsched/internal/job"
 	"mapsched/internal/metrics"
@@ -276,6 +277,39 @@ func BenchmarkSimulation_ProbabilisticNaive(b *testing.B) {
 		}
 		if res.Unfinished != 0 {
 			b.Fatal("unfinished jobs under naive probabilistic")
+		}
+	}
+}
+
+// BenchmarkSimulation_FaultChurn is the same batch under a hostile fault
+// plan — crashes, a slowdown, a degraded link, transient attempt
+// failures — so it prices the whole recovery machinery: detection sweeps,
+// task reversion, shuffle re-fetch, retries and blacklisting. The gap to
+// BenchmarkSimulation_Probabilistic is the cost of fault churn; the
+// fault-free bench itself must stay within the <2% budget vs the seed
+// baseline, since a nil plan compiles the subsystem out of the hot path.
+func BenchmarkSimulation_FaultChurn(b *testing.B) {
+	s := benchSetup()
+	s.Workload.Replication = 3
+	s.Engine.Faults = faults.Plan{
+		Crashes:      []faults.NodeCrash{{Node: 20, At: 20}, {Node: 40, At: 60}},
+		Slowdowns:    []faults.NodeSlowdown{{Node: 10, At: 10, Duration: 120, Factor: 3}},
+		Links:        []faults.LinkDegrade{{Node: 30, At: 15, Duration: 90, Factor: 0.2}},
+		TaskFailProb: 0.05,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunBatch(workload.Wordcount, s.BuilderFor(experiments.Probabilistic))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Unfinished != 0 {
+			b.Fatal("unfinished jobs under fault churn")
+		}
+		if i == 0 {
+			b.ReportMetric(res.JobCompletionCDF().Mean(), "meanJCT_s")
+			b.ReportMetric(float64(res.AttemptFailures), "attempt_fails")
+			b.ReportMetric(float64(res.RelaunchedMaps+res.RelaunchedReduces), "relaunches")
 		}
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|tableII|fig3|fig4|fig5|fig6|tableIII|fig7|util|pmin|ablations]
+//	experiments [-run all|tableII|fig3|fig4|fig5|fig6|tableIII|fig7|util|pmin|ablations|faultsweep]
 //	            [-scale N] [-seed N] [-pmin P] [-workers N]
 //
 // -scale divides workload sizes and task counts; 1 reproduces Table II's
@@ -81,6 +81,13 @@ func runExperiments(s experiments.Setup, which string) error {
 			return err
 		}
 		fmt.Println(experiments.FaultReport(pts))
+		return nil
+	case "faultsweep":
+		pts, err := experiments.FaultSweep(s, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FaultSweepReport(pts))
 		return nil
 	case "jobpolicy":
 		pts, err := experiments.JobPolicyComparison(s)

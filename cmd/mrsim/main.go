@@ -6,7 +6,12 @@
 //	mrsim [-sched probabilistic|coupling|fair] [-workload wordcount|terasort|grep]
 //	      [-scale N] [-seed N] [-nodes N] [-racks N] [-pmin P]
 //	      [-mode hops|netcond] [-crosstraffic N] [-v]
+//	      [-faults SPEC] [-hb-expiry SECONDS]
 //	      [-trace FILE] [-events FILE] [-obs-summary]
+//
+// The -faults spec is semicolon-separated, e.g.
+//
+//	-faults 'crash:3@60;slow:7@30+120*2.5;link:4@10+40*0.1;taskfail:0.02'
 package main
 
 import (
@@ -31,6 +36,8 @@ func main() {
 		pmin      = flag.Float64("pmin", 0.4, "P_min threshold (probabilistic scheduler)")
 		mode      = flag.String("mode", "netcond", "cost mode: hops or netcond")
 		cross     = flag.Int("crosstraffic", 0, "background cross-traffic flows")
+		faultSpec = flag.String("faults", "", "fault plan: crash:N@T; slow:N@T[+D]*F; link:N@T[+D]*F; replica:N@T; taskfail:P; attempts:N; blacklist:N")
+		hbExpiry  = flag.Float64("hb-expiry", 0, "heartbeat-expiry window in seconds (0 = 10x heartbeat interval)")
 		verbose   = flag.Bool("v", false, "print per-job rows")
 		traceOut  = flag.String("trace", "", "write a JSON task timeline to this file")
 		eventsOut = flag.String("events", "", "write a JSONL event log (scheduler decisions, tasks, flows) to this file")
@@ -57,13 +64,25 @@ func main() {
 	cfg.Topology.NodesPerRack = *nodes
 	cfg.Topology.Racks = *racks
 
-	sim, err := mapsched.New(cfg, batch, kind,
+	opts := []mapsched.Option{
 		mapsched.WithSeed(*seed),
 		mapsched.WithScale(*scale),
 		mapsched.WithPmin(*pmin),
 		mapsched.WithCostMode(costMode),
 		mapsched.WithCrossTraffic(*cross),
-	)
+	}
+	if *faultSpec != "" {
+		plan, err := mapsched.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, mapsched.WithFaultPlan(plan))
+	}
+	if *hbExpiry > 0 {
+		opts = append(opts, mapsched.WithHeartbeatExpiry(*hbExpiry))
+	}
+
+	sim, err := mapsched.New(cfg, batch, kind, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -146,6 +165,11 @@ func main() {
 	fmt.Printf("slot utilization:   map %.2f, reduce %.2f\n", res.MapUtilization, res.ReduceUtilization)
 	fmt.Printf("network volume:     map-in %.1f GB, shuffle %.1f GB remote / %.1f GB local\n",
 		res.MapRemoteBytes/1e9, res.ShuffleRemoteBytes/1e9, res.ShuffleLocalBytes/1e9)
+	if res.FailedJobs > 0 || res.AttemptFailures > 0 || res.RelaunchedMaps > 0 ||
+		res.RelaunchedReduces > 0 || res.BlacklistedNodes > 0 {
+		fmt.Printf("fault recovery:     %d failed jobs, %d attempt failures, %d maps + %d reduces relaunched, %d nodes blacklisted\n",
+			res.FailedJobs, res.AttemptFailures, res.RelaunchedMaps, res.RelaunchedReduces, res.BlacklistedNodes)
+	}
 }
 
 func schedulerKind(name string) (mapsched.SchedulerKind, error) {

@@ -45,9 +45,10 @@ type Node struct {
 	MapSlots    int
 	ReduceSlots int
 
-	usedMap    int
-	usedReduce int
-	offline    bool
+	usedMap     int
+	usedReduce  int
+	offline     bool
+	blacklisted bool
 
 	resourceMode      bool
 	capacity          Resources
@@ -62,6 +63,15 @@ func (n *Node) SetOffline(off bool) { n.offline = off }
 
 // Offline reports whether the node is dead.
 func (n *Node) Offline() bool { return n.offline }
+
+// SetBlacklisted marks the node as a repeat offender: it stops offering
+// slots (and so drops out of the scheduler's candidate sets) but, unlike
+// an offline node, keeps running its already-launched tasks — Hadoop's
+// per-job TaskTracker blacklist behaviour.
+func (n *Node) SetBlacklisted(b bool) { n.blacklisted = b }
+
+// Blacklisted reports whether the node is blacklisted.
+func (n *Node) Blacklisted() bool { return n.blacklisted }
 
 // EnableResources switches the node to the container model with the given
 // capacity and per-task requests.
@@ -89,10 +99,10 @@ func (n *Node) ResourceMode() bool { return n.resourceMode }
 func (n *Node) Used() Resources { return n.used }
 
 // FreeMapSlots returns how many more map tasks the node can start right
-// now (0 when offline). In container mode this is the resource headroom
-// measured in map containers.
+// now (0 when offline or blacklisted). In container mode this is the
+// resource headroom measured in map containers.
 func (n *Node) FreeMapSlots() int {
-	if n.offline {
+	if n.offline || n.blacklisted {
 		return 0
 	}
 	if n.resourceMode {
@@ -102,9 +112,9 @@ func (n *Node) FreeMapSlots() int {
 }
 
 // FreeReduceSlots returns how many more reduce tasks the node can start
-// right now (0 when offline).
+// right now (0 when offline or blacklisted).
 func (n *Node) FreeReduceSlots() int {
-	if n.offline {
+	if n.offline || n.blacklisted {
 		return 0
 	}
 	if n.resourceMode {

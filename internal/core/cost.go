@@ -88,18 +88,22 @@ type epochObserver interface {
 	Epoch() uint64
 }
 
-// DistanceEpoch returns a counter that advances whenever Distance may
-// return different values; ok reports whether such a signal exists. In hop
-// mode distances are static, so the epoch is constantly 0. In
-// network-condition mode the rate observer must expose an Epoch counter;
-// when it does not, ok is false and callers must treat every distance as
-// volatile (caching would change scheduling decisions).
+// DistanceEpoch returns a counter that advances whenever a cost derived
+// from Distance and the block store may change; ok reports whether such a
+// signal exists. The counter is the sum of two monotone components: the
+// store's replica-mutation epoch (replica loss moves a block's nearest
+// replica even when distances are static) and, in network-condition mode,
+// the rate observer's recompute epoch. Since both only grow, equal sums
+// imply both are unchanged. In hop mode with an immutable store the value
+// is constantly 0, preserving pre-fault cache behaviour. When the rate
+// observer exposes no epoch, ok is false and callers must treat every
+// distance as volatile (caching would change scheduling decisions).
 func (c *CostModel) DistanceEpoch() (uint64, bool) {
 	if c.mode != ModeNetworkCondition {
-		return 0, true
+		return c.store.Epoch(), true
 	}
 	if eo, ok := c.rate.(epochObserver); ok {
-		return eo.Epoch(), true
+		return eo.Epoch() + c.store.Epoch(), true
 	}
 	return 0, false
 }

@@ -12,12 +12,12 @@ import (
 // each input block it precomputes the nearest-replica distance
 // min_{l: L_lj=1} h_il for every candidate node, and for the avail-node
 // set of the current round it caches the per-block cost sum feeding
-// C_avg. Replica sets are immutable once a block is placed, so a row only
-// goes stale when the distance matrix itself changes — which the
-// CostModel's DistanceEpoch signals exactly (hop distances never change;
-// network-condition distances change precisely when the flow network
-// recomputes rates). Every value it returns is bit-identical to the
-// uncached CostModel.MapCost / MapCostAvg.
+// C_avg. A row only goes stale when the distance matrix changes or a
+// block loses a replica — both of which the CostModel's DistanceEpoch
+// signals exactly (it folds the flow network's rate-recompute epoch
+// together with the store's replica-mutation epoch; hop distances never
+// change and replica sets only shrink under faults). Every value it
+// returns is bit-identical to the uncached CostModel.MapCost / MapCostAvg.
 type MapCoster struct {
 	cm        *CostModel
 	rows      map[hdfs.BlockID]*mapRow

@@ -2,18 +2,22 @@
 // store, slot model and a task-level scheduler into a JobTracker that
 // reacts to TaskTracker heartbeats, executes map/shuffle/reduce phases
 // over the flow-level network, and collects the metrics the paper's
-// evaluation reports. It also models two Hadoop mechanisms the paper's
-// testbed had enabled: speculative execution of straggling map tasks and
-// recovery from TaskTracker (node) failures, including re-execution of
-// completed maps whose intermediate output was lost.
+// evaluation reports. It also models the Hadoop mechanisms the paper's
+// testbed had enabled: speculative execution of straggling map and reduce
+// tasks, and recovery from TaskTracker (node) failures with realistic
+// detection semantics — a crashed node dies physically at the fault time
+// (its tasks stop, its heartbeats cease) but the JobTracker reacts only
+// after a heartbeat-expiry lag, then re-executes lost work, retries
+// failed attempts up to a cap and blacklists repeat-offender nodes. The
+// fault script itself lives in internal/faults.
 package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"mapsched/internal/cluster"
 	"mapsched/internal/core"
+	"mapsched/internal/faults"
 	"mapsched/internal/hdfs"
 	"mapsched/internal/job"
 	"mapsched/internal/metrics"
@@ -25,7 +29,8 @@ import (
 
 // NodeFailure schedules the permanent failure of a node at a simulated
 // time: its tasks are killed, its stored map outputs become unavailable,
-// and it stops heartbeating.
+// and it stops heartbeating. It is the legacy spelling of
+// faults.NodeCrash and follows the same detection-lag semantics.
 type NodeFailure struct {
 	Node int
 	At   float64
@@ -73,8 +78,22 @@ type Config struct {
 	SpecSlowdown     float64 // default 1.8
 	SpecMinCompleted int     // default 3
 
-	// Failures permanently kills nodes at the given times.
+	// Failures permanently kills nodes at the given times. Equivalent to
+	// listing the nodes in Faults.Crashes.
 	Failures []NodeFailure
+
+	// Faults is the deterministic fault-injection plan: scripted crashes,
+	// slowdowns, link degradations and replica losses plus the transient
+	// attempt-failure process and retry/blacklist policy. The zero plan
+	// disables injection entirely and the run is bit-identical to one
+	// without the fault layer.
+	Faults faults.Plan
+
+	// HeartbeatExpiry is how long after a node stops heartbeating the
+	// JobTracker declares it dead and starts recovery (slot reclamation,
+	// task re-execution, replica pruning). Zero means the Hadoop-style
+	// default of 10 × HeartbeatInterval.
+	HeartbeatExpiry float64
 
 	// SlowNodeFraction marks this share of nodes (chosen deterministically
 	// from the seed) as stragglers whose compute rates are divided by
@@ -151,7 +170,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("engine: SpecMinCompleted %d must be >= 1", c.SpecMinCompleted)
 		}
 	}
+	if c.HeartbeatExpiry < 0 {
+		return fmt.Errorf("engine: negative heartbeat expiry")
+	}
 	n := c.Topology.Racks * c.Topology.NodesPerRack
+	failed := make(map[int]bool, len(c.Failures))
 	for _, f := range c.Failures {
 		if f.Node < 0 || f.Node >= n {
 			return fmt.Errorf("engine: failure of node %d outside cluster of %d", f.Node, n)
@@ -159,6 +182,13 @@ func (c Config) Validate() error {
 		if f.At < 0 {
 			return fmt.Errorf("engine: failure at negative time")
 		}
+		if failed[f.Node] {
+			return fmt.Errorf("engine: duplicate failure of node %d", f.Node)
+		}
+		failed[f.Node] = true
+	}
+	if err := c.Faults.Validate(n); err != nil {
+		return err
 	}
 	return nil
 }
@@ -170,6 +200,7 @@ type mapAttempt struct {
 	locality     job.Locality
 	launch       sim.Time
 	fetch        *topology.Flow
+	fetchSrc     topology.NodeID // replica the input streams from
 	fetchDone    bool
 	computeStart sim.Time
 	computeDur   float64
@@ -224,20 +255,48 @@ type flight struct {
 	flow  *topology.Flow
 }
 
-// reduceRun is the engine-side execution state of a running reduce task.
-type reduceRun struct {
-	pendingSrc map[topology.NodeID]*srcBucket
-	queue      []topology.NodeID // FIFO of sources with pending bytes
-	flights    map[*topology.Flow]*flight
-	got        map[*job.MapTask]bool // output enqueued, fetched or in flight
-	computing  bool
-	computeEv  *sim.Event
+// redAttempt is one execution attempt of a reduce task: its own shuffle
+// state (sources, in-flight fetches, received bytes) and compute phase.
+// There can be two attempts when reduce speculation fires.
+type redAttempt struct {
+	node         topology.NodeID
+	locality     job.Locality
+	launch       sim.Time
+	pendingSrc   map[topology.NodeID]*srcBucket
+	queue        []topology.NodeID // FIFO of sources with pending bytes
+	flights      map[*topology.Flow]*flight
+	got          map[*job.MapTask]bool // output enqueued, fetched or in flight
+	shuffled     float64               // intermediate bytes received so far
+	computing    bool
+	computeStart sim.Time
+	computeDur   float64
+	computeEv    *sim.Event
+	failFrac     float64 // > 0: scripted transient failure at this compute fraction
+	dead         bool
 }
 
-// jobStats accumulates completed-map durations for speculation.
+// reduceRun is the engine-side execution state of a running reduce task.
+type reduceRun struct {
+	attempts []*redAttempt
+}
+
+// liveAttempts counts attempts that have not been killed.
+func (r *reduceRun) liveAttempts() int {
+	n := 0
+	for _, a := range r.attempts {
+		if !a.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// jobStats accumulates completed-task durations for speculation.
 type jobStats struct {
-	completed int
-	totalDur  float64
+	completed    int
+	totalDur     float64
+	redCompleted int
+	redTotalDur  float64
 }
 
 // Simulation is one configured run.
@@ -253,6 +312,7 @@ type Simulation struct {
 
 	rngEngine *sim.RNG
 	rngJobs   *sim.RNG
+	rngFaults *sim.RNG
 
 	specs  []job.Spec
 	jobs   []*job.Job
@@ -261,8 +321,22 @@ type Simulation struct {
 	runningMaps map[*job.MapTask]*mapRun
 	runningReds map[*job.ReduceTask]*reduceRun
 	stats       map[job.ID]*jobStats
-	dead        map[topology.NodeID]bool
 	speedOf     []float64 // per-node compute-speed multiplier (1 = nominal)
+	baseSpeed   []float64 // speedOf before transient slowdowns (heterogeneity only)
+
+	// Failure state. crashed marks nodes physically dead at the fault
+	// instant: their attempts stop and heartbeats cease, but the
+	// JobTracker's bookkeeping is untouched. dead marks nodes whose
+	// heartbeat-expiry lapsed: slots reclaimed, work re-queued, offline.
+	crashed   map[topology.NodeID]bool
+	dead      map[topology.NodeID]bool
+	hbExpiry  float64
+	heldMap   map[topology.NodeID]int // slots of crash-killed attempts awaiting detection
+	heldRed   map[topology.NodeID]int
+	mapFails  map[*job.MapTask]int // transient failures per task (attempt cap)
+	redFails  map[*job.ReduceTask]int
+	nodeFails map[failKey]int // per-(job, node) attempt failures (blacklist)
+	blacklist map[topology.NodeID]bool
 
 	utilMap    metrics.TimeAvg
 	utilReduce metrics.TimeAvg
@@ -275,10 +349,19 @@ type Simulation struct {
 	shuffleRemoteBytes float64 // intermediate data moved across the network
 	shuffleLocalBytes  float64 // intermediate data served from local disk
 
-	speculated        int // backup attempts launched
-	specWins          int // backups that finished first
+	speculated        int // backup map attempts launched
+	specWins          int // map backups that finished first
+	speculatedReds    int // backup reduce attempts launched
+	specRedWins       int // reduce backups that finished first
 	relaunchedMaps    int // done maps re-executed after node failure
 	relaunchedReduces int // running reduces restarted after node failure
+	attemptFailures   int // transient attempt failures injected
+}
+
+// failKey indexes the per-(job, node) attempt-failure tallies.
+type failKey struct {
+	job  job.ID
+	node topology.NodeID
 }
 
 // New builds a simulation over the given job specs and scheduler builder.
@@ -329,8 +412,19 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 		runningMaps: make(map[*job.MapTask]*mapRun),
 		runningReds: make(map[*job.ReduceTask]*reduceRun),
 		stats:       make(map[job.ID]*jobStats),
+		crashed:     make(map[topology.NodeID]bool),
 		dead:        make(map[topology.NodeID]bool),
+		heldMap:     make(map[topology.NodeID]int),
+		heldRed:     make(map[topology.NodeID]int),
+		mapFails:    make(map[*job.MapTask]int),
+		redFails:    make(map[*job.ReduceTask]int),
+		nodeFails:   make(map[failKey]int),
+		blacklist:   make(map[topology.NodeID]bool),
 		obs:         obs.NewStream(),
+	}
+	s.hbExpiry = cfg.HeartbeatExpiry
+	if s.hbExpiry == 0 {
+		s.hbExpiry = 10 * cfg.HeartbeatInterval
 	}
 	topo.Net().SetStream(s.obs)
 	s.sch = builder(sched.Env{Net: topo, Cost: cost, RNG: root.Fork("sched"), Obs: s.obs})
@@ -354,6 +448,11 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 			s.speedOf[idx] = 1 / factor
 		}
 	}
+	s.baseSpeed = append([]float64(nil), s.speedOf...)
+	// Forked last so the earlier streams (hdfs, engine, jobs, sched,
+	// heterogeneity) see the exact seeds they saw before the fault layer
+	// existed — the empty-plan bit-identity guarantee depends on it.
+	s.rngFaults = root.Fork("faults")
 	return s, nil
 }
 
@@ -413,11 +512,14 @@ func (s *Simulation) Run() (*Result, error) {
 		s.eng.Schedule(spec.Submit, func() { s.submit(id, spec) })
 	}
 
-	// Scheduled node failures.
+	// Scheduled faults: legacy Failures and the fault plan both route
+	// through crashNode, which kills the node physically and arms the
+	// heartbeat-expiry timer for JobTracker-side recovery.
 	for _, f := range s.cfg.Failures {
 		n := topology.NodeID(f.Node)
-		s.eng.Schedule(sim.Time(f.At), func() { s.failNode(n) })
+		s.eng.Schedule(sim.Time(f.At), func() { s.crashNode(n) })
 	}
+	s.scheduleFaults()
 
 	// Heartbeat chains, phase-offset per node so offers do not synchronize.
 	interval := s.cfg.HeartbeatInterval
@@ -462,7 +564,7 @@ func (s *Simulation) allDone() bool {
 // heartbeat is one TaskTracker report: refresh progress, offer free slots
 // to the scheduler, and reschedule.
 func (s *Simulation) heartbeat(n topology.NodeID) {
-	if s.allDone() || s.dead[n] {
+	if s.allDone() || s.crashed[n] {
 		return // stop the chain
 	}
 	s.refreshProgress()
@@ -492,6 +594,13 @@ func (s *Simulation) heartbeat(n topology.NodeID) {
 			break
 		}
 		s.launchReduce(r, n)
+	}
+	if s.cfg.Speculation {
+		for node.FreeReduceSlots() > 0 {
+			if !s.trySpeculateReduce(n) {
+				break
+			}
+		}
 	}
 	s.eng.After(s.cfg.HeartbeatInterval, func() { s.heartbeat(n) })
 }
@@ -525,13 +634,14 @@ func (s *Simulation) refreshProgress() {
 }
 
 // aliveNearest returns the closest live replica of the block, or ok=false
-// when every replica's node has failed.
+// when every replica's node has crashed (replicas on crashed nodes are
+// physically unreadable even before the JobTracker detects the failure).
 func (s *Simulation) aliveNearest(b hdfs.BlockID, from topology.NodeID) (topology.NodeID, bool) {
 	best := topology.NodeID(-1)
 	bestD := 0.0
 	found := false
 	for _, r := range s.store.Replicas(b) {
-		if s.dead[r] {
+		if s.crashed[r] {
 			continue
 		}
 		d := s.topo.Distance(from, r)
@@ -588,6 +698,7 @@ func (s *Simulation) startAttempt(m *job.MapTask, run *mapRun, n topology.NodeID
 	if src != n {
 		s.mapRemoteBytes += m.Size
 	}
+	att.fetchSrc = src
 	att.fetch = s.topo.Transfer(src, n, m.Size, func() {
 		if att.dead {
 			return
@@ -605,6 +716,13 @@ func (s *Simulation) startAttempt(m *job.MapTask, run *mapRun, n topology.NodeID
 		att.computeDone = true
 		s.checkAttempt(m, run, att)
 	})
+	// Transient attempt failure: a Bernoulli draw per attempt, failing at
+	// a uniform point of the compute phase (always before the completion
+	// event, so a selected attempt cannot win the task).
+	if p := s.cfg.Faults.TaskFailProb; p > 0 && s.rngFaults.Bernoulli(p) {
+		failAt := s.rngFaults.Float64() * att.computeDur
+		s.eng.After(failAt, func() { s.failMapAttempt(m, run, att) })
+	}
 }
 
 // checkAttempt completes the map when an attempt has both streamed its
@@ -616,7 +734,7 @@ func (s *Simulation) checkAttempt(m *job.MapTask, run *mapRun, att *mapAttempt) 
 }
 
 // killAttempt cancels an attempt and releases its slot (when its node is
-// still alive; dead nodes release bookkeeping in failNode).
+// still alive; crashed nodes release bookkeeping at failure detection).
 func (s *Simulation) killAttempt(att *mapAttempt, releaseSlot bool) {
 	if att.dead {
 		return
@@ -640,7 +758,7 @@ func (s *Simulation) killAttempt(att *mapAttempt, releaseSlot bool) {
 func (s *Simulation) winMap(m *job.MapTask, run *mapRun, winner *mapAttempt) {
 	for _, a := range run.attempts {
 		if a != winner {
-			s.killAttempt(a, !s.dead[a.node])
+			s.killAttempt(a, !s.crashed[a.node])
 			s.sampleUtil()
 		}
 	}
@@ -673,20 +791,26 @@ func (s *Simulation) winMap(m *job.MapTask, run *mapRun, winner *mapAttempt) {
 		st.completed++
 		st.totalDur += float64(m.Finish - winner.launch)
 	}
-	// Feed this map's partitions to every running reduce of the job.
+	// Feed this map's partitions to every live attempt of the job's
+	// running reduces.
 	for _, r := range j.Reduces {
 		if r.State != job.TaskRunning {
 			continue
 		}
 		rrun := s.runningReds[r]
-		if rrun == nil || rrun.computing {
+		if rrun == nil {
 			continue
 		}
-		if bytes := m.Out[r.Index]; bytes > 0 && !rrun.got[m] {
-			s.enqueueFetch(rrun, m.Node, bytes, m)
+		for _, att := range rrun.attempts {
+			if att.dead || att.computing {
+				continue
+			}
+			if bytes := m.Out[r.Index]; bytes > 0 && !att.got[m] {
+				s.enqueueFetch(att, m.Node, bytes, m)
+			}
+			s.pumpShuffle(r, rrun, att)
+			s.maybeStartReduceCompute(r, rrun, att)
 		}
-		s.pumpShuffle(r, rrun)
-		s.maybeStartReduceCompute(r, rrun)
 	}
 }
 
@@ -741,6 +865,61 @@ func (s *Simulation) trySpeculate(n topology.NodeID) bool {
 	return true
 }
 
+// trySpeculateReduce launches a backup attempt of the worst straggling
+// reduce on node n, reusing the map-speculation slowdown threshold
+// against the job's mean completed-reduce duration; it reports whether
+// one launched.
+func (s *Simulation) trySpeculateReduce(n topology.NodeID) bool {
+	now := s.eng.Now()
+	var worst *job.ReduceTask
+	var worstRun *reduceRun
+	worstScore := s.cfg.SpecSlowdown
+	for r, run := range s.runningReds {
+		if len(run.attempts) != 1 || run.attempts[0].dead {
+			continue // already backed up, or awaiting failure detection
+		}
+		if run.attempts[0].node == n {
+			continue // a backup on the same node cannot help
+		}
+		st := s.stats[r.Job.ID]
+		if st == nil || st.redCompleted < s.cfg.SpecMinCompleted {
+			continue
+		}
+		avg := st.redTotalDur / float64(st.redCompleted)
+		if avg <= 0 {
+			continue
+		}
+		score := float64(now-run.attempts[0].launch) / avg
+		// Strict ordering with a deterministic tie-break (job, index) so
+		// map-iteration order cannot influence the simulation.
+		if score > worstScore ||
+			(score == worstScore && worst != nil &&
+				(r.Job.ID < worst.Job.ID || (r.Job.ID == worst.Job.ID && r.Index < worst.Index))) {
+			worstScore = score
+			worst = r
+			worstRun = run
+		}
+	}
+	if worst == nil {
+		return false
+	}
+	if err := s.state.Node(n).AcquireReduce(); err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
+	s.sampleUtil()
+	s.speculatedReds++
+	if s.obs.Enabled() {
+		s.obs.Emit(s.taskEvent(obs.SpecStart, n, worst.Job, "reduce", worst.Index))
+	}
+	// The backup re-fetches every finished map's output independently.
+	att := s.newRedAttempt(worst, n)
+	worstRun.attempts = append(worstRun.attempts, att)
+	s.enqueueDoneMaps(worst, att)
+	s.pumpShuffle(worst, worstRun, att)
+	s.maybeStartReduceCompute(worst, worstRun, att)
+	return true
+}
+
 // launchReduce starts reduce task r on node n and queues fetches for all
 // already-finished maps.
 func (s *Simulation) launchReduce(r *job.ReduceTask, n topology.NodeID) {
@@ -761,21 +940,33 @@ func (s *Simulation) launchReduce(r *job.ReduceTask, n topology.NodeID) {
 		e.Wait = float64(r.Launch - r.Job.Submitted)
 		s.obs.Emit(e)
 	}
-	run := &reduceRun{
+	run := &reduceRun{}
+	s.runningReds[r] = run
+	att := s.newRedAttempt(r, n)
+	run.attempts = append(run.attempts, att)
+	s.enqueueDoneMaps(r, att)
+	s.pumpShuffle(r, run, att)
+	s.maybeStartReduceCompute(r, run, att)
+}
+
+// newRedAttempt builds one reduce execution attempt on node n, drawing
+// its transient-failure fate when the fault plan has one.
+func (s *Simulation) newRedAttempt(r *job.ReduceTask, n topology.NodeID) *redAttempt {
+	att := &redAttempt{
+		node:       n,
+		locality:   s.reduceLocality(r.Job, n),
+		launch:     s.eng.Now(),
 		pendingSrc: make(map[topology.NodeID]*srcBucket),
 		flights:    make(map[*topology.Flow]*flight),
 		got:        make(map[*job.MapTask]bool),
 	}
-	s.runningReds[r] = run
-	for _, m := range r.Job.Maps {
-		if m.State == job.TaskDone {
-			if bytes := m.Out[r.Index]; bytes > 0 {
-				s.enqueueFetch(run, m.Node, bytes, m)
-			}
-		}
+	if p := s.cfg.Faults.TaskFailProb; p > 0 && s.rngFaults.Bernoulli(p) {
+		// Reduce compute duration is unknown until the shuffle drains, so
+		// remember the failure point as a fraction of the eventual compute
+		// phase. Strictly positive so the failure event fires mid-phase.
+		att.failFrac = 0.05 + 0.9*s.rngFaults.Float64()
 	}
-	s.pumpShuffle(r, run)
-	s.maybeStartReduceCompute(r, run)
+	return att
 }
 
 // reduceLocality classifies a reduce placement: local node if the node
@@ -810,65 +1001,147 @@ func (s *Simulation) reduceLocality(j *job.Job, n topology.NodeID) job.Locality 
 	return job.Remote
 }
 
-// enqueueFetch adds a map's bytes from src to the reduce's shuffle queue,
-// coalescing with bytes already queued from the same source.
-func (s *Simulation) enqueueFetch(run *reduceRun, src topology.NodeID, bytes float64, m *job.MapTask) {
-	b, ok := run.pendingSrc[src]
+// enqueueDoneMaps queues every finished map's output for a fresh reduce
+// attempt. A finished map whose output node was already declared dead can
+// never serve a fetch again — and no future detection sweep would clean a
+// bucket queued under it — so its output counts as lost here: the map
+// reverts to pending and its re-execution feeds this attempt on finish.
+// Outputs on crashed-but-undetected nodes are queued normally; the
+// JobTracker does not know yet, and the detection sweep reclaims them.
+func (s *Simulation) enqueueDoneMaps(r *job.ReduceTask, att *redAttempt) {
+	for _, m := range r.Job.Maps {
+		if m.State != job.TaskDone {
+			continue
+		}
+		bytes := m.Out[r.Index]
+		if bytes <= 0 {
+			continue
+		}
+		if s.dead[m.Node] {
+			lostAt := m.Node
+			m.State = job.TaskPending
+			m.Progress = 0
+			m.Node = -1
+			r.Job.DoneMaps--
+			s.relaunchedMaps++
+			if s.obs.Enabled() {
+				e := s.taskEvent(obs.TaskRelaunch, lostAt, m.Job, "map", m.Index)
+				e.Reason = "output_lost"
+				s.obs.Emit(e)
+			}
+			continue
+		}
+		s.enqueueFetch(att, m.Node, bytes, m)
+	}
+}
+
+// enqueueFetch adds a map's bytes from src to a reduce attempt's shuffle
+// queue, coalescing with bytes already queued from the same source.
+func (s *Simulation) enqueueFetch(att *redAttempt, src topology.NodeID, bytes float64, m *job.MapTask) {
+	b, ok := att.pendingSrc[src]
 	if !ok {
 		b = &srcBucket{}
-		run.pendingSrc[src] = b
-		run.queue = append(run.queue, src)
+		att.pendingSrc[src] = b
+		att.queue = append(att.queue, src)
 	}
 	b.bytes += bytes
 	b.maps = append(b.maps, m)
-	run.got[m] = true
+	att.got[m] = true
 }
 
-// pumpShuffle starts fetch flows up to the parallelism bound.
-func (s *Simulation) pumpShuffle(r *job.ReduceTask, run *reduceRun) {
-	for len(run.flights) < s.cfg.ShuffleParallelism && len(run.queue) > 0 {
-		src := run.queue[0]
-		run.queue = run.queue[1:]
-		b, ok := run.pendingSrc[src]
+// pumpShuffle starts fetch flows up to the parallelism bound for one
+// reduce attempt.
+func (s *Simulation) pumpShuffle(r *job.ReduceTask, run *reduceRun, att *redAttempt) {
+	for len(att.flights) < s.cfg.ShuffleParallelism && len(att.queue) > 0 {
+		// Sources whose TaskTracker crashed cannot serve a fetch, but the
+		// JobTracker has not noticed yet: leave their entries queued
+		// (blocking the compute phase) until failure detection drops them
+		// and re-queues the contributing maps. Fetch from the first live
+		// source instead.
+		pick := -1
+		for i, src := range att.queue {
+			if !s.crashed[src] {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		src := att.queue[pick]
+		att.queue = append(att.queue[:pick], att.queue[pick+1:]...)
+		b, ok := att.pendingSrc[src]
 		if !ok {
 			continue // bucket was dropped by failure recovery
 		}
-		delete(run.pendingSrc, src)
+		delete(att.pendingSrc, src)
 		fl := &flight{src: src, bytes: b.bytes, maps: b.maps}
-		if src == r.Node {
+		if src == att.node {
 			s.shuffleLocalBytes += b.bytes
 		} else {
 			s.shuffleRemoteBytes += b.bytes
 		}
-		fl.flow = s.topo.Transfer(src, r.Node, b.bytes, func() {
-			delete(run.flights, fl.flow)
-			r.ShuffledBytes += fl.bytes
-			s.pumpShuffle(r, run)
-			s.maybeStartReduceCompute(r, run)
+		fl.flow = s.topo.Transfer(src, att.node, b.bytes, func() {
+			if att.dead {
+				return
+			}
+			delete(att.flights, fl.flow)
+			att.shuffled += fl.bytes
+			if r.Node == att.node {
+				r.ShuffledBytes = att.shuffled
+			}
+			s.pumpShuffle(r, run, att)
+			s.maybeStartReduceCompute(r, run, att)
 		})
-		run.flights[fl.flow] = fl
+		att.flights[fl.flow] = fl
 	}
 }
 
-// maybeStartReduceCompute begins the sort/reduce phase once every map of
-// the job finished and all fetches drained.
-func (s *Simulation) maybeStartReduceCompute(r *job.ReduceTask, run *reduceRun) {
-	if run.computing || !r.Job.MapsDone() || len(run.flights) > 0 || len(run.queue) > 0 || len(run.pendingSrc) > 0 {
+// maybeStartReduceCompute begins an attempt's sort/reduce phase once every
+// map of the job finished and its fetches drained.
+func (s *Simulation) maybeStartReduceCompute(r *job.ReduceTask, run *reduceRun, att *redAttempt) {
+	if att.dead || att.computing || !r.Job.MapsDone() ||
+		len(att.flights) > 0 || len(att.queue) > 0 || len(att.pendingSrc) > 0 {
 		return
 	}
-	run.computing = true
+	att.computing = true
 	prof := r.Job.Spec.Profile
 	dur := s.cfg.TaskOverhead +
-		s.rngEngine.Jitter(r.ShuffledBytes/(prof.ReduceRate*s.speedOf[r.Node]), prof.ComputeJitter)
-	run.computeEv = s.eng.After(dur, func() { s.finishReduce(r) })
+		s.rngEngine.Jitter(att.shuffled/(prof.ReduceRate*s.speedOf[att.node]), prof.ComputeJitter)
+	att.computeStart = s.eng.Now()
+	att.computeDur = dur
+	if att.failFrac > 0 {
+		// A transiently failing attempt never reaches completion; its
+		// scripted failure fires partway through the compute phase.
+		att.computeEv = s.eng.After(att.failFrac*dur, func() { s.failReduceAttempt(r, run, att) })
+		return
+	}
+	att.computeEv = s.eng.After(dur, func() { s.finishReduce(r, run, att) })
 }
 
-// finishReduce completes a reduce task and possibly its job.
-func (s *Simulation) finishReduce(r *job.ReduceTask) {
+// finishReduce completes a reduce task via the winning attempt (killing
+// any backup) and possibly finishes its job.
+func (s *Simulation) finishReduce(r *job.ReduceTask, run *reduceRun, winner *redAttempt) {
+	for _, a := range run.attempts {
+		if a != winner && !a.dead {
+			s.killRedAttempt(a, !s.crashed[a.node])
+			s.sampleUtil()
+		}
+	}
+	if winner != run.attempts[0] {
+		s.specRedWins++
+		if s.obs.Enabled() {
+			s.obs.Emit(s.taskEvent(obs.SpecWin, winner.node, r.Job, "reduce", r.Index))
+		}
+	}
+	winner.dead = true // no further callbacks
 	r.State = job.TaskDone
 	r.Finish = s.eng.Now()
+	r.Node = winner.node
+	r.Locality = winner.locality
+	r.ShuffledBytes = winner.shuffled
 	delete(s.runningReds, r)
-	s.state.Node(r.Node).ReleaseReduce()
+	s.state.Node(winner.node).ReleaseReduce()
 	s.sampleUtil()
 	s.reduceTimes = append(s.reduceTimes, r.RunTime())
 	if s.obs.Enabled() {
@@ -880,6 +1153,10 @@ func (s *Simulation) finishReduce(r *job.ReduceTask) {
 
 	j := r.Job
 	j.DoneReds++
+	if st := s.stats[j.ID]; st != nil {
+		st.redCompleted++
+		st.redTotalDur += r.RunTime()
+	}
 	if j.Done() {
 		j.Finished = s.eng.Now()
 		for i, a := range s.active {
@@ -896,159 +1173,9 @@ func (s *Simulation) finishReduce(r *job.ReduceTask) {
 	}
 }
 
-// failNode kills a node permanently: running attempts and reduces on it
-// die, completed map outputs stored there are re-executed when still
-// needed, and the node stops offering slots and heartbeating.
-func (s *Simulation) failNode(d topology.NodeID) {
-	if s.dead[d] {
-		return
-	}
-	if s.obs.Enabled() {
-		s.obs.Emit(obs.Event{T: float64(s.eng.Now()), Type: obs.NodeFail, Node: int(d)})
-	}
-	// Deterministic iteration over the running-task maps: sort by
-	// (job, index) so flow cancellations happen in a reproducible order.
-	reds := make([]*job.ReduceTask, 0, len(s.runningReds))
-	for r := range s.runningReds {
-		reds = append(reds, r)
-	}
-	sort.Slice(reds, func(a, b int) bool {
-		if reds[a].Job.ID != reds[b].Job.ID {
-			return reds[a].Job.ID < reds[b].Job.ID
-		}
-		return reds[a].Index < reds[b].Index
-	})
-	maps := make([]*job.MapTask, 0, len(s.runningMaps))
-	for m := range s.runningMaps {
-		maps = append(maps, m)
-	}
-	sort.Slice(maps, func(a, b int) bool {
-		if maps[a].Job.ID != maps[b].Job.ID {
-			return maps[a].Job.ID < maps[b].Job.ID
-		}
-		return maps[a].Index < maps[b].Index
-	})
-
-	// 1. Drop shuffle state sourced from the dead node in every running
-	// reduce: queued buckets and in-flight fetches from d are lost, and
-	// the contributing maps are no longer "got".
-	for _, r := range reds {
-		run := s.runningReds[r]
-		if b, ok := run.pendingSrc[d]; ok {
-			delete(run.pendingSrc, d)
-			for _, m := range b.maps {
-				delete(run.got, m)
-			}
-		}
-		var doomed []*topology.Flow
-		for flow, fl := range run.flights {
-			if fl.src == d {
-				doomed = append(doomed, flow)
-			}
-		}
-		sort.Slice(doomed, func(a, b int) bool {
-			return run.flights[doomed[a]].bytes < run.flights[doomed[b]].bytes
-		})
-		for _, flow := range doomed {
-			fl := run.flights[flow]
-			s.topo.Net().Cancel(flow)
-			delete(run.flights, flow)
-			for _, m := range fl.maps {
-				delete(run.got, m)
-			}
-		}
-	}
-
-	// 2. Kill map attempts running on d; revert tasks left with no live
-	// attempt.
-	for _, m := range maps {
-		run := s.runningMaps[m]
-		changed := false
-		for _, a := range run.attempts {
-			if a.node == d && !a.dead {
-				s.killAttempt(a, true) // slot released before going offline
-				changed = true
-			}
-		}
-		if changed && run.liveAttempts() == 0 {
-			delete(s.runningMaps, m)
-			m.State = job.TaskPending
-			m.Progress = 0
-			m.Node = -1
-			if s.obs.Enabled() {
-				e := s.taskEvent(obs.TaskRelaunch, d, m.Job, "map", m.Index)
-				e.Reason = "attempt_lost"
-				s.obs.Emit(e)
-			}
-		}
-	}
-
-	// 3. Kill reduces hosted on d: their partially-fetched data is lost.
-	for _, r := range reds {
-		if r.Node != d || r.State != job.TaskRunning {
-			continue
-		}
-		run := s.runningReds[r]
-		var flows []*topology.Flow
-		for flow := range run.flights {
-			flows = append(flows, flow)
-		}
-		sort.Slice(flows, func(a, b int) bool {
-			return run.flights[flows[a]].bytes < run.flights[flows[b]].bytes
-		})
-		for _, flow := range flows {
-			s.topo.Net().Cancel(flow)
-		}
-		if run.computeEv != nil {
-			run.computeEv.Cancel()
-			s.eng.Remove(run.computeEv)
-		}
-		delete(s.runningReds, r)
-		s.state.Node(d).ReleaseReduce()
-		r.State = job.TaskPending
-		r.Node = -1
-		r.ShuffledBytes = 0
-		r.Locality = job.LocalityUnknown
-		s.relaunchedReduces++
-		if s.obs.Enabled() {
-			e := s.taskEvent(obs.TaskRelaunch, d, r.Job, "reduce", r.Index)
-			e.Reason = "host_failed"
-			s.obs.Emit(e)
-		}
-	}
-
-	// 4. Re-execute completed maps whose output lived on d and is still
-	// needed by an unfinished reduce.
-	for _, j := range s.active {
-		for _, m := range j.Maps {
-			if m.State != job.TaskDone || m.Node != d {
-				continue
-			}
-			if !s.outputStillNeeded(j, m) {
-				continue
-			}
-			m.State = job.TaskPending
-			m.Progress = 0
-			m.Node = -1
-			j.DoneMaps--
-			s.relaunchedMaps++
-			if s.obs.Enabled() {
-				e := s.taskEvent(obs.TaskRelaunch, d, m.Job, "map", m.Index)
-				e.Reason = "output_lost"
-				s.obs.Emit(e)
-			}
-		}
-	}
-
-	// 5. Take the node offline.
-	s.dead[d] = true
-	s.state.Node(d).SetOffline(true)
-	s.sampleUtil()
-}
-
 // outputStillNeeded reports whether any unfinished reduce of j still needs
-// map m's output (i.e. produces bytes for it and has not already fetched
-// them).
+// map m's output (i.e. produces bytes for it and some attempt has not
+// already fetched them).
 func (s *Simulation) outputStillNeeded(j *job.Job, m *job.MapTask) bool {
 	for _, r := range j.Reduces {
 		if m.Out[r.Index] <= 0 {
@@ -1061,8 +1188,13 @@ func (s *Simulation) outputStillNeeded(j *job.Job, m *job.MapTask) bool {
 			return true
 		case job.TaskRunning:
 			run := s.runningReds[r]
-			if run == nil || !run.got[m] {
+			if run == nil || run.liveAttempts() == 0 {
 				return true
+			}
+			for _, att := range run.attempts {
+				if !att.dead && !att.got[m] {
+					return true
+				}
 			}
 		}
 	}

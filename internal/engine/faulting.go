@@ -1,0 +1,614 @@
+// Fault injection and recovery: the engine-side half of internal/faults.
+//
+// A node crash is modelled in two stages. crashNode fires at the scripted
+// fault time and is purely physical: attempts on the node stop, its
+// heartbeats cease, and transfers touching it can no longer proceed — but
+// the JobTracker's bookkeeping (slot counts, task states) is untouched,
+// because it has no way to know yet. detectNode fires one heartbeat-expiry
+// window later and is the JobTracker's reaction: slots are reclaimed, lost
+// work is re-queued, block replicas are pruned and the node goes offline.
+// All other faults (slowdowns, link degradations, replica losses,
+// transient attempt failures) act immediately since they are either
+// physical-only or locally observable.
+package engine
+
+import (
+	"sort"
+
+	"mapsched/internal/job"
+	"mapsched/internal/obs"
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+)
+
+// scheduleFaults arms every scripted fault of the plan on the event heap.
+// Called once from Run; an empty plan schedules nothing.
+func (s *Simulation) scheduleFaults() {
+	p := s.cfg.Faults
+	for _, c := range p.Crashes {
+		n := topology.NodeID(c.Node)
+		s.eng.Schedule(sim.Time(c.At), func() { s.crashNode(n) })
+	}
+	for _, sl := range p.Slowdowns {
+		n, factor := topology.NodeID(sl.Node), sl.Factor
+		s.eng.Schedule(sim.Time(sl.At), func() { s.applySlowdown(n, factor) })
+		if sl.Duration > 0 {
+			s.eng.Schedule(sim.Time(sl.At+sl.Duration), func() { s.applySlowdown(n, 1) })
+		}
+	}
+	for _, l := range p.Links {
+		n, factor := topology.NodeID(l.Node), l.Factor
+		s.eng.Schedule(sim.Time(l.At), func() { s.degradeLink(n, factor) })
+		if l.Duration > 0 {
+			s.eng.Schedule(sim.Time(l.At+l.Duration), func() { s.degradeLink(n, 1) })
+		}
+	}
+	for _, rl := range p.ReplicaLosses {
+		n := topology.NodeID(rl.Node)
+		s.eng.Schedule(sim.Time(rl.At), func() { s.loseReplicas(n, "disk_lost") })
+	}
+}
+
+// sortedRunningMaps returns the running map tasks in (job, index) order so
+// fault handling iterates deterministically.
+func sortedRunningMaps(running map[*job.MapTask]*mapRun) []*job.MapTask {
+	out := make([]*job.MapTask, 0, len(running))
+	for m := range running {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Job.ID != out[b].Job.ID {
+			return out[a].Job.ID < out[b].Job.ID
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// sortedRunningReds returns the running reduce tasks in (job, index) order.
+func sortedRunningReds(running map[*job.ReduceTask]*reduceRun) []*job.ReduceTask {
+	out := make([]*job.ReduceTask, 0, len(running))
+	for r := range running {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Job.ID != out[b].Job.ID {
+			return out[a].Job.ID < out[b].Job.ID
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// crashNode kills node d physically. Attempts on d die without releasing
+// their slots (the JobTracker still believes they run; the counts are
+// parked in heldMap/heldRed until detection). Attempts elsewhere that were
+// streaming data from d lose those transfers: map-input fetches restart
+// from another replica, shuffle fetches re-queue until detection clears
+// them. Finally the heartbeat-expiry timer is armed.
+func (s *Simulation) crashNode(d topology.NodeID) {
+	if s.crashed[d] {
+		return
+	}
+	s.crashed[d] = true
+	if s.obs.Enabled() {
+		s.obs.Emit(obs.Event{T: float64(s.eng.Now()), Type: obs.NodeFail, Node: int(d)})
+	}
+
+	for _, m := range sortedRunningMaps(s.runningMaps) {
+		run := s.runningMaps[m]
+		srcLost := false
+		for _, a := range run.attempts {
+			if a.dead {
+				continue
+			}
+			if a.node == d {
+				s.killAttempt(a, false)
+				s.heldMap[d]++
+				continue
+			}
+			if a.fetchSrc == d && !a.fetchDone {
+				if !s.restartMapFetch(m, run, a) {
+					srcLost = true
+				}
+			}
+		}
+		// Only revert when a live tracker reported the loss; a task whose
+		// every attempt sat on d is reverted at detection instead.
+		if srcLost && run.liveAttempts() == 0 {
+			s.revertMapTask(m, d, "source_lost")
+		}
+	}
+
+	for _, r := range sortedRunningReds(s.runningReds) {
+		for _, att := range s.runningReds[r].attempts {
+			if att.dead {
+				continue
+			}
+			if att.node == d {
+				s.killRedAttempt(att, false)
+				s.heldRed[d]++
+				continue
+			}
+			s.reclaimCrashedFetches(att, d)
+		}
+	}
+
+	s.eng.After(s.hbExpiry, func() { s.detectNode(d) })
+}
+
+// restartMapFetch re-streams a map attempt's input from the nearest live
+// replica after its source crashed. When no replica survives the attempt
+// is killed (reported by false); compute keeps its original schedule
+// otherwise — the re-read overlaps it just like the first read did.
+func (s *Simulation) restartMapFetch(m *job.MapTask, run *mapRun, att *mapAttempt) bool {
+	if att.fetch != nil && !att.fetch.Finished() {
+		s.topo.Net().Cancel(att.fetch)
+		att.fetch = nil
+	}
+	src, ok := s.aliveNearest(m.Block, att.node)
+	if !ok {
+		s.killAttempt(att, !s.crashed[att.node])
+		s.sampleUtil()
+		return false
+	}
+	if src != att.node {
+		s.mapRemoteBytes += m.Size
+	}
+	att.fetchSrc = src
+	att.fetch = s.topo.Transfer(src, att.node, m.Size, func() {
+		if att.dead {
+			return
+		}
+		att.fetchDone = true
+		s.checkAttempt(m, run, att)
+	})
+	return true
+}
+
+// reclaimCrashedFetches aborts a reduce attempt's in-flight fetches from
+// the crashed node d and re-queues their bytes under source d. pumpShuffle
+// skips crashed sources, so the bytes stay pending (blocking the compute
+// phase) until detection drops the bucket and re-executes the maps.
+func (s *Simulation) reclaimCrashedFetches(att *redAttempt, d topology.NodeID) {
+	var doomed []*topology.Flow
+	for flow, fl := range att.flights {
+		if fl.src == d {
+			doomed = append(doomed, flow)
+		}
+	}
+	if len(doomed) == 0 {
+		return
+	}
+	sort.Slice(doomed, func(a, b int) bool {
+		return att.flights[doomed[a]].bytes < att.flights[doomed[b]].bytes
+	})
+	for _, flow := range doomed {
+		fl := att.flights[flow]
+		s.topo.Net().Cancel(flow)
+		delete(att.flights, flow)
+		b, ok := att.pendingSrc[d]
+		if !ok {
+			b = &srcBucket{}
+			att.pendingSrc[d] = b
+			att.queue = append(att.queue, d)
+		}
+		b.bytes += fl.bytes
+		b.maps = append(b.maps, fl.maps...)
+	}
+}
+
+// detectNode is the JobTracker's reaction once node d's heartbeats have
+// been silent for the expiry window.
+func (s *Simulation) detectNode(d topology.NodeID) {
+	if s.dead[d] {
+		return
+	}
+	s.dead[d] = true
+	if s.obs.Enabled() {
+		e := obs.Event{T: float64(s.eng.Now()), Type: obs.FailureDetected, Node: int(d)}
+		e.Dur = s.hbExpiry
+		s.obs.Emit(e)
+	}
+
+	// Reclaim the slots of attempts that died with the node.
+	node := s.state.Node(d)
+	for i := 0; i < s.heldMap[d]; i++ {
+		node.ReleaseMap()
+	}
+	for i := 0; i < s.heldRed[d]; i++ {
+		node.ReleaseReduce()
+	}
+	delete(s.heldMap, d)
+	delete(s.heldRed, d)
+
+	// Revert running map tasks whose every attempt died on d.
+	for _, m := range sortedRunningMaps(s.runningMaps) {
+		if s.runningMaps[m].liveAttempts() == 0 {
+			s.revertMapTask(m, d, "attempt_lost")
+		}
+	}
+
+	// Reduces: drop shuffle state sourced from d (the contributing maps
+	// are re-executed below), revert tasks with no surviving attempt, and
+	// re-point tasks whose canonical attempt died while a backup lives.
+	for _, r := range sortedRunningReds(s.runningReds) {
+		run := s.runningReds[r]
+		for _, att := range run.attempts {
+			if att.dead {
+				continue
+			}
+			if b, ok := att.pendingSrc[d]; ok {
+				delete(att.pendingSrc, d)
+				for _, m := range b.maps {
+					delete(att.got, m)
+				}
+				for i, src := range att.queue {
+					if src == d {
+						att.queue = append(att.queue[:i], att.queue[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if run.liveAttempts() == 0 {
+			s.revertReduceTask(r, run, d, "host_failed")
+			continue
+		}
+		if r.Node == d {
+			s.repointReduce(r, run)
+		}
+	}
+
+	// Re-execute completed maps whose output lived on d and is still
+	// needed by an unfinished reduce.
+	for _, j := range s.active {
+		for _, m := range j.Maps {
+			if m.State != job.TaskDone || m.Node != d {
+				continue
+			}
+			if !s.outputStillNeeded(j, m) {
+				continue
+			}
+			m.State = job.TaskPending
+			m.Progress = 0
+			m.Node = -1
+			j.DoneMaps--
+			s.relaunchedMaps++
+			if s.obs.Enabled() {
+				e := s.taskEvent(obs.TaskRelaunch, d, m.Job, "map", m.Index)
+				e.Reason = "output_lost"
+				s.obs.Emit(e)
+			}
+		}
+	}
+
+	// Take the node out of the cluster and prune its block replicas; jobs
+	// whose pending input lost its last replica fail here.
+	node.SetOffline(true)
+	s.sampleUtil()
+	s.loseReplicas(d, "node_dead")
+}
+
+// revertMapTask returns a running map task to the pending pool after its
+// attempts died.
+func (s *Simulation) revertMapTask(m *job.MapTask, at topology.NodeID, reason string) {
+	delete(s.runningMaps, m)
+	m.State = job.TaskPending
+	m.Progress = 0
+	m.Node = -1
+	if s.obs.Enabled() {
+		e := s.taskEvent(obs.TaskRelaunch, at, m.Job, "map", m.Index)
+		e.Reason = reason
+		s.obs.Emit(e)
+	}
+}
+
+// revertReduceTask returns a running reduce task to the pending pool,
+// killing any attempt still alive.
+func (s *Simulation) revertReduceTask(r *job.ReduceTask, run *reduceRun, at topology.NodeID, reason string) {
+	for _, att := range run.attempts {
+		if !att.dead {
+			s.killRedAttempt(att, !s.crashed[att.node])
+		}
+	}
+	delete(s.runningReds, r)
+	r.State = job.TaskPending
+	r.Node = -1
+	r.ShuffledBytes = 0
+	r.Locality = job.LocalityUnknown
+	s.relaunchedReduces++
+	if s.obs.Enabled() {
+		e := s.taskEvent(obs.TaskRelaunch, at, r.Job, "reduce", r.Index)
+		e.Reason = reason
+		s.obs.Emit(e)
+	}
+}
+
+// repointReduce re-targets a reduce task's reported placement at its first
+// surviving attempt (after the canonical one died).
+func (s *Simulation) repointReduce(r *job.ReduceTask, run *reduceRun) {
+	for _, att := range run.attempts {
+		if !att.dead {
+			r.Node = att.node
+			r.Locality = att.locality
+			r.ShuffledBytes = att.shuffled
+			return
+		}
+	}
+}
+
+// killRedAttempt cancels a reduce attempt and releases its slot (when its
+// node is still alive; crashed nodes release bookkeeping at detection).
+func (s *Simulation) killRedAttempt(att *redAttempt, releaseSlot bool) {
+	if att.dead {
+		return
+	}
+	att.dead = true
+	var flows []*topology.Flow
+	for flow := range att.flights {
+		flows = append(flows, flow)
+	}
+	sort.Slice(flows, func(a, b int) bool {
+		fa, fb := att.flights[flows[a]], att.flights[flows[b]]
+		if fa.bytes != fb.bytes {
+			return fa.bytes < fb.bytes
+		}
+		return fa.src < fb.src
+	})
+	for _, flow := range flows {
+		s.topo.Net().Cancel(flow)
+	}
+	att.flights = make(map[*topology.Flow]*flight)
+	if att.computeEv != nil {
+		att.computeEv.Cancel()
+		s.eng.Remove(att.computeEv)
+		att.computeEv = nil
+	}
+	if releaseSlot {
+		s.state.Node(att.node).ReleaseReduce()
+	}
+}
+
+// failMapAttempt is a scripted transient failure of one map attempt: the
+// attempt dies, the task reverts when no attempt survives, and the retry
+// and blacklist tallies advance.
+func (s *Simulation) failMapAttempt(m *job.MapTask, run *mapRun, att *mapAttempt) {
+	if att.dead || m.State != job.TaskRunning || s.runningMaps[m] != run {
+		return
+	}
+	s.killAttempt(att, !s.crashed[att.node])
+	s.sampleUtil()
+	s.attemptFailures++
+	if s.obs.Enabled() {
+		s.obs.Emit(s.taskEvent(obs.AttemptFail, att.node, m.Job, "map", m.Index))
+	}
+	if run.liveAttempts() == 0 {
+		s.revertMapTask(m, att.node, "attempt_fail")
+	}
+	s.noteNodeFailure(m.Job, att.node)
+	s.mapFails[m]++
+	if s.mapFails[m] >= s.cfg.Faults.MaxAttempts() {
+		s.failJob(m.Job, "map_attempts_exhausted")
+	}
+}
+
+// failReduceAttempt is the reduce-side transient failure, scheduled at a
+// fraction of the attempt's compute phase.
+func (s *Simulation) failReduceAttempt(r *job.ReduceTask, run *reduceRun, att *redAttempt) {
+	if att.dead || s.runningReds[r] != run {
+		return
+	}
+	s.killRedAttempt(att, !s.crashed[att.node])
+	s.sampleUtil()
+	s.attemptFailures++
+	if s.obs.Enabled() {
+		s.obs.Emit(s.taskEvent(obs.AttemptFail, att.node, r.Job, "reduce", r.Index))
+	}
+	if run.liveAttempts() == 0 {
+		s.revertReduceTask(r, run, att.node, "attempt_fail")
+	} else if r.Node == att.node {
+		s.repointReduce(r, run)
+	}
+	s.noteNodeFailure(r.Job, att.node)
+	s.redFails[r]++
+	if s.redFails[r] >= s.cfg.Faults.MaxAttempts() {
+		s.failJob(r.Job, "reduce_attempts_exhausted")
+	}
+}
+
+// noteNodeFailure tallies an attempt failure against (job, node) and
+// blacklists the node at the threshold. A safety valve refuses to
+// blacklist half the cluster or more, so a pathological fault plan cannot
+// wedge the whole simulation.
+func (s *Simulation) noteNodeFailure(j *job.Job, n topology.NodeID) {
+	key := failKey{job: j.ID, node: n}
+	s.nodeFails[key]++
+	if s.blacklist[n] || s.nodeFails[key] < s.cfg.Faults.BlacklistThreshold() {
+		return
+	}
+	if 2*(len(s.blacklist)+1) >= s.topo.Size() {
+		return
+	}
+	s.blacklist[n] = true
+	s.state.Node(n).SetBlacklisted(true)
+	if s.obs.Enabled() {
+		s.obs.Emit(obs.Event{T: float64(s.eng.Now()), Type: obs.NodeBlacklist, Node: int(n), Job: j.Spec.Name})
+	}
+}
+
+// failJob terminates j unsuccessfully: running tasks are torn down,
+// pending work is abandoned, and the job leaves the active set with
+// Failed set and Finished recording the failure time.
+func (s *Simulation) failJob(j *job.Job, reason string) {
+	if j.Failed || j.Done() {
+		return
+	}
+	j.Failed = true
+	j.Finished = s.eng.Now()
+	for _, m := range j.Maps {
+		if m.State != job.TaskRunning {
+			continue
+		}
+		if run := s.runningMaps[m]; run != nil {
+			for _, a := range run.attempts {
+				if !a.dead {
+					s.killAttempt(a, !s.crashed[a.node])
+				}
+			}
+		}
+		delete(s.runningMaps, m)
+		m.State = job.TaskPending
+		m.Progress = 0
+		m.Node = -1
+	}
+	for _, r := range j.Reduces {
+		if r.State != job.TaskRunning {
+			continue
+		}
+		if run := s.runningReds[r]; run != nil {
+			for _, a := range run.attempts {
+				if !a.dead {
+					s.killRedAttempt(a, !s.crashed[a.node])
+				}
+			}
+		}
+		delete(s.runningReds, r)
+		r.State = job.TaskPending
+		r.Node = -1
+		r.ShuffledBytes = 0
+		r.Locality = job.LocalityUnknown
+	}
+	s.sampleUtil()
+	for i, a := range s.active {
+		if a == j {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	if s.obs.Enabled() {
+		e := obs.Event{T: float64(s.eng.Now()), Type: obs.JobFail, Node: -1, Job: j.Spec.Name}
+		e.Reason = reason
+		e.Dur = float64(j.Finished - j.Submitted)
+		s.obs.Emit(e)
+	}
+}
+
+// applySlowdown sets node n's compute rate to base/factor (factor 1
+// restores the base) and stretches or shrinks the remaining compute time
+// of every attempt running there mid-flight. Factors are absolute against
+// the node's base speed, so overlapping slowdowns do not compound.
+func (s *Simulation) applySlowdown(n topology.NodeID, factor float64) {
+	if s.crashed[n] {
+		return // a dead node cannot slow down further
+	}
+	old := s.speedOf[n]
+	next := s.baseSpeed[n] / factor
+	if next == old {
+		return
+	}
+	s.speedOf[n] = next
+	if s.obs.Enabled() {
+		s.obs.Emit(obs.Event{T: float64(s.eng.Now()), Type: obs.NodeSlow, Node: int(n), Factor: factor})
+	}
+	now := s.eng.Now()
+	ratio := old / next // > 1: remaining work takes longer
+
+	for _, m := range sortedRunningMaps(s.runningMaps) {
+		run := s.runningMaps[m]
+		for _, a := range run.attempts {
+			if a.dead || a.node != n || a.computeDone || a.computeEv == nil {
+				continue
+			}
+			elapsed := float64(now - a.computeStart)
+			remaining := a.computeDur - elapsed
+			if remaining <= 0 {
+				continue
+			}
+			a.computeEv.Cancel()
+			s.eng.Remove(a.computeEv)
+			remaining *= ratio
+			a.computeDur = elapsed + remaining
+			att, mm, rr := a, m, run
+			att.computeEv = s.eng.After(remaining, func() {
+				if att.dead {
+					return
+				}
+				att.computeDone = true
+				s.checkAttempt(mm, rr, att)
+			})
+		}
+	}
+	for _, r := range sortedRunningReds(s.runningReds) {
+		run := s.runningReds[r]
+		for _, a := range run.attempts {
+			if a.dead || a.node != n || !a.computing || a.computeEv == nil {
+				continue
+			}
+			elapsed := float64(now - a.computeStart)
+			remaining := a.computeDur - elapsed
+			if remaining <= 0 {
+				continue
+			}
+			a.computeEv.Cancel()
+			s.eng.Remove(a.computeEv)
+			remaining *= ratio
+			a.computeDur = elapsed + remaining
+			att, rt, rn := a, r, run
+			if att.failFrac > 0 {
+				// The pending event was the scripted mid-compute failure at
+				// failFrac × dur; keep it at the same progress point.
+				fireIn := att.failFrac*att.computeDur - elapsed
+				if fireIn < 0 {
+					fireIn = 0
+				}
+				att.computeEv = s.eng.After(fireIn, func() { s.failReduceAttempt(rt, rn, att) })
+			} else {
+				att.computeEv = s.eng.After(remaining, func() { s.finishReduce(rt, rn, att) })
+			}
+		}
+	}
+}
+
+// degradeLink scales node n's access-link capacity to factor × nominal
+// (factor 1 restores it). The flow network re-shares every flow and bumps
+// its epoch, so network-condition cost caches invalidate exactly.
+func (s *Simulation) degradeLink(n topology.NodeID, factor float64) {
+	s.topo.SetHostLinkFactor(n, factor)
+	if s.obs.Enabled() {
+		s.obs.Emit(obs.Event{T: float64(s.eng.Now()), Type: obs.LinkDegrade, Node: int(n), Factor: factor})
+	}
+}
+
+// loseReplicas drops every block replica stored on node n and fails any
+// active job left with a pending map whose block has no replica anywhere.
+func (s *Simulation) loseReplicas(n topology.NodeID, reason string) {
+	lost := s.store.RemoveNodeReplicas(n)
+	if lost == 0 {
+		return
+	}
+	if s.obs.Enabled() {
+		e := obs.Event{T: float64(s.eng.Now()), Type: obs.ReplicaLoss, Node: int(n)}
+		e.Reason = reason
+		s.obs.Emit(e)
+	}
+	s.checkInputViability()
+}
+
+// checkInputViability fails every active job holding a pending map whose
+// block lost its last replica — such a map can never be scheduled again,
+// so waiting for the horizon would only mask the loss.
+func (s *Simulation) checkInputViability() {
+	active := append([]*job.Job(nil), s.active...)
+	for _, j := range active {
+		for _, m := range j.Maps {
+			if m.State != job.TaskPending {
+				continue
+			}
+			if len(s.store.Replicas(m.Block)) == 0 {
+				s.failJob(j, "input_lost")
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"mapsched/internal/faults"
+	"mapsched/internal/obs"
+	"mapsched/internal/sched"
+)
+
+type eventTap struct{ events []obs.Event }
+
+func (t *eventTap) Observe(e obs.Event) { t.events = append(t.events, e) }
+
+func (t *eventTap) ofType(k obs.Type) []obs.Event {
+	var out []obs.Event
+	for _, e := range t.events {
+		if e.Type == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestDetectionLag: a crashed node is declared dead exactly one
+// heartbeat-expiry window after the crash instant, not immediately.
+func TestDetectionLag(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults.Crashes = []faults.NodeCrash{{Node: 1, At: 8}}
+	cfg.HeartbeatExpiry = 5
+	s, err := New(cfg, faultSpecs(t, 0.2), sched.NewProbabilistic(sched.DefaultProbabilisticConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := &eventTap{}
+	if err := s.Attach(tap); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("jobs unfinished: %s", res)
+	}
+	crashes := tap.ofType(obs.NodeFail)
+	if len(crashes) != 1 || crashes[0].T != 8 || crashes[0].Node != 1 {
+		t.Fatalf("node_fail events = %+v, want one at t=8 on node 1", crashes)
+	}
+	detects := tap.ofType(obs.FailureDetected)
+	if len(detects) != 1 || detects[0].Node != 1 {
+		t.Fatalf("failure_detected events = %+v, want one on node 1", detects)
+	}
+	if got := detects[0].T; got != 13 {
+		t.Fatalf("failure detected at t=%v, want crash+expiry = 13", got)
+	}
+	if detects[0].Dur != 5 {
+		t.Fatalf("detection event carries lag %v, want 5", detects[0].Dur)
+	}
+}
+
+// TestTransientFailuresRetryAndBlacklist: a high per-attempt failure rate
+// with a low blacklist threshold must produce retries (attempt_fail
+// events, relaunch counters) and blacklist at least one node — while
+// never blacklisting half the cluster or losing a job.
+func TestTransientFailuresRetryAndBlacklist(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults.TaskFailProb = 0.15
+	cfg.Faults.MaxTaskAttempts = 50 // retries effectively unbounded
+	cfg.Faults.BlacklistAfter = 2
+	s, err := New(cfg, faultSpecs(t, 0.2), sched.NewProbabilistic(sched.DefaultProbabilisticConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := &eventTap{}
+	if err := s.Attach(tap); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished != 0 || res.FailedJobs != 0 {
+		t.Fatalf("recovery lost jobs: %s", res)
+	}
+	if res.AttemptFailures == 0 {
+		t.Fatal("no attempt failures at 15% per-attempt probability")
+	}
+	if got := len(tap.ofType(obs.AttemptFail)); got != res.AttemptFailures {
+		t.Fatalf("%d attempt_fail events, counter says %d", got, res.AttemptFailures)
+	}
+	n := cfg.Topology.Racks * cfg.Topology.NodesPerRack
+	if res.BlacklistedNodes == 0 {
+		t.Fatal("no node blacklisted despite threshold 2")
+	}
+	if 2*res.BlacklistedNodes >= n {
+		t.Fatalf("blacklisted %d of %d nodes; guard must keep it under half", res.BlacklistedNodes, n)
+	}
+	if got := len(tap.ofType(obs.NodeBlacklist)); got != res.BlacklistedNodes {
+		t.Fatalf("%d node_blacklist events, counter says %d", got, res.BlacklistedNodes)
+	}
+}
+
+// TestSlowdownStretchesRun: slowing half the cluster must lengthen the
+// makespan relative to the identical fault-free run, and the slowdown
+// must be visible as paired node_slow events (onset and restore).
+func TestSlowdownStretchesRun(t *testing.T) {
+	base := tinyConfig()
+	s, err := New(base, faultSpecs(t, 0.2), sched.NewProbabilistic(sched.DefaultProbabilisticConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := tinyConfig()
+	for n := 0; n < 4; n++ {
+		cfg.Faults.Slowdowns = append(cfg.Faults.Slowdowns,
+			faults.NodeSlowdown{Node: n, At: 2, Duration: 100, Factor: 6})
+	}
+	s2, err := New(cfg, faultSpecs(t, 0.2), sched.NewProbabilistic(sched.DefaultProbabilisticConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := &eventTap{}
+	if err := s2.Attach(tap); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Unfinished != 0 {
+		t.Fatalf("jobs unfinished under slowdown: %s", slow)
+	}
+	if slow.Makespan <= clean.Makespan {
+		t.Fatalf("makespan %v under 6x slowdown of half the cluster, clean run took %v",
+			slow.Makespan, clean.Makespan)
+	}
+	evts := tap.ofType(obs.NodeSlow)
+	if len(evts) != 8 {
+		t.Fatalf("%d node_slow events, want 4 onsets + 4 restores", len(evts))
+	}
+	for _, e := range evts {
+		if e.T == 2 && e.Factor != 6 {
+			t.Fatalf("onset event carries factor %v, want 6", e.Factor)
+		}
+		if e.T == 102 && e.Factor != 1 {
+			t.Fatalf("restore event carries factor %v, want 1", e.Factor)
+		}
+	}
+}
+
+// TestLinkDegradeSlowsRun: cutting access links to 10% for part of the
+// run must lengthen the makespan; capacities must be restored after the
+// window (observable via link_degrade event pairs).
+func TestLinkDegradeSlowsRun(t *testing.T) {
+	base := tinyConfig()
+	s, err := New(base, faultSpecs(t, 0.2), sched.NewProbabilistic(sched.DefaultProbabilisticConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := tinyConfig()
+	for n := 0; n < 4; n++ {
+		cfg.Faults.Links = append(cfg.Faults.Links,
+			faults.LinkDegrade{Node: n, At: 2, Duration: 60, Factor: 0.1})
+	}
+	s2, err := New(cfg, faultSpecs(t, 0.2), sched.NewProbabilistic(sched.DefaultProbabilisticConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := &eventTap{}
+	if err := s2.Attach(tap); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Unfinished != 0 {
+		t.Fatalf("jobs unfinished under link degradation: %s", degraded)
+	}
+	if degraded.Makespan <= clean.Makespan {
+		t.Fatalf("makespan %v with half the links at 10%%, clean run took %v",
+			degraded.Makespan, clean.Makespan)
+	}
+	evts := tap.ofType(obs.LinkDegrade)
+	if len(evts) != 8 {
+		t.Fatalf("%d link_degrade events, want 4 onsets + 4 restores", len(evts))
+	}
+	restores := 0
+	for _, e := range evts {
+		if e.Factor == 1 {
+			restores++
+		}
+	}
+	if restores != 4 {
+		t.Fatalf("%d restore events, want 4", restores)
+	}
+}
+
+// TestAttemptCapFailsJobCleanly: with an attempt cap of 1 and a high
+// transient-failure rate, some job must fail — explicitly, with a
+// job_fail event, no unfinished leftovers, and shuffle conservation
+// intact for the jobs that did finish.
+func TestAttemptCapFailsJobCleanly(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Faults.TaskFailProb = 0.3
+	cfg.Faults.MaxTaskAttempts = 1
+	s, err := New(cfg, faultSpecs(t, 0.2), sched.NewProbabilistic(sched.DefaultProbabilisticConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := &eventTap{}
+	if err := s.Attach(tap); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedJobs == 0 {
+		t.Fatal("no job failed with a 30% attempt failure rate and cap 1")
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("failed jobs left unfinished leftovers: %s", res)
+	}
+	if got := len(tap.ofType(obs.JobFail)); got != res.FailedJobs {
+		t.Fatalf("%d job_fail events, counter says %d", got, res.FailedJobs)
+	}
+	for _, jr := range res.Jobs {
+		if jr.Failed && jr.Finished() {
+			t.Fatalf("job %s both failed and finished", jr.Name)
+		}
+	}
+	for _, j := range s.Jobs() {
+		if j.Failed {
+			continue
+		}
+		for _, r := range j.Reduces {
+			if math.Abs(r.ShuffledBytes-r.ExpectedInput()) > 1 {
+				t.Fatalf("surviving job %s reduce %d shuffled %v, want %v",
+					j.Spec.Name, r.Index, r.ShuffledBytes, r.ExpectedInput())
+			}
+		}
+	}
+}

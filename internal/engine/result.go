@@ -17,6 +17,7 @@ type JobResult struct {
 	Submit     float64
 	Finish     float64 // 0 when unfinished at the horizon
 	Completion float64 // Finish − Submit; 0 when unfinished
+	Failed     bool    // terminated unsuccessfully by fault recovery
 
 	MapLocality    metrics.LocalityCount
 	ReduceLocality metrics.LocalityCount
@@ -54,8 +55,13 @@ type Result struct {
 	// Fault-tolerance and speculation accounting.
 	Speculated        int // backup map attempts launched
 	SpecWins          int // backups that finished before the original
+	SpeculatedReduces int // backup reduce attempts launched
+	SpecReduceWins    int // reduce backups that finished first
 	RelaunchedMaps    int // completed maps re-executed after node failures
 	RelaunchedReduces int // running reduces restarted after node failures
+	AttemptFailures   int // transient attempt failures injected
+	BlacklistedNodes  int // nodes blacklisted out of the candidate sets
+	FailedJobs        int // jobs terminated unsuccessfully (not in Unfinished)
 }
 
 // CompletionTimes returns the completion time of every finished job
@@ -125,6 +131,11 @@ func (s *Simulation) collect() *Result {
 			if jr.Finish > res.Makespan {
 				res.Makespan = jr.Finish
 			}
+		} else if j.Failed {
+			// Failed jobs keep Finish 0 (Finished() is false) but are not
+			// "unfinished": they terminated, just not successfully.
+			jr.Failed = true
+			res.FailedJobs++
 		} else {
 			res.Unfinished++
 		}
@@ -166,8 +177,12 @@ func (s *Simulation) collect() *Result {
 	res.ShuffleLocalBytes = s.shuffleLocalBytes
 	res.Speculated = s.speculated
 	res.SpecWins = s.specWins
+	res.SpeculatedReduces = s.speculatedReds
+	res.SpecReduceWins = s.specRedWins
 	res.RelaunchedMaps = s.relaunchedMaps
 	res.RelaunchedReduces = s.relaunchedReduces
+	res.AttemptFailures = s.attemptFailures
+	res.BlacklistedNodes = len(s.blacklist)
 	// Utilization is averaged over the busy window [0, makespan]; when the
 	// run hit the horizon with work outstanding, average to the horizon.
 	end := res.Makespan

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mapsched/internal/faults"
+	"mapsched/internal/metrics"
+	"mapsched/internal/workload"
+)
+
+// FaultIntensity is one rung of the fault-sweep grid: a named fault plan
+// whose severity scales with the cluster size.
+type FaultIntensity struct {
+	Name string
+	Plan func(nodes int) faults.Plan
+}
+
+// FaultIntensities returns the default sweep grid, from a fault-free
+// baseline to a regime with concurrent crashes, slowdowns, degraded links,
+// a replica loss and a noticeable transient-failure rate. Node indices are
+// spread across the cluster so racks share the pain.
+func FaultIntensities() []FaultIntensity {
+	return []FaultIntensity{
+		{Name: "none", Plan: func(nodes int) faults.Plan { return faults.Plan{} }},
+		{Name: "light", Plan: func(nodes int) faults.Plan {
+			return faults.Plan{
+				Crashes:      []faults.NodeCrash{{Node: nodes / 3, At: 20}},
+				TaskFailProb: 0.01,
+			}
+		}},
+		{Name: "moderate", Plan: func(nodes int) faults.Plan {
+			return faults.Plan{
+				Crashes: []faults.NodeCrash{
+					{Node: nodes / 3, At: 20},
+					{Node: 2 * nodes / 3, At: 60},
+				},
+				Slowdowns: []faults.NodeSlowdown{
+					{Node: nodes / 4, At: 10, Duration: 120, Factor: 3},
+				},
+				Links: []faults.LinkDegrade{
+					{Node: nodes / 2, At: 15, Duration: 90, Factor: 0.2},
+				},
+				TaskFailProb: 0.03,
+			}
+		}},
+		{Name: "heavy", Plan: func(nodes int) faults.Plan {
+			return faults.Plan{
+				Crashes: []faults.NodeCrash{
+					{Node: nodes / 4, At: 15},
+					{Node: nodes / 2, At: 40},
+					{Node: 3 * nodes / 4, At: 70},
+				},
+				Slowdowns: []faults.NodeSlowdown{
+					{Node: nodes/4 + 1, At: 10, Duration: 180, Factor: 4},
+					{Node: nodes - 2, At: 30, Factor: 2.5},
+				},
+				Links: []faults.LinkDegrade{
+					{Node: nodes/2 + 1, At: 10, Duration: 120, Factor: 0.1},
+					{Node: nodes - 3, At: 50, Duration: 60, Factor: 0},
+				},
+				ReplicaLosses: []faults.ReplicaLoss{{Node: 1, At: 25}},
+				TaskFailProb:  0.08,
+			}
+		}},
+	}
+}
+
+// FaultSweepPoint is one (intensity, scheduler) cell of the sweep.
+type FaultSweepPoint struct {
+	Intensity         string
+	Scheduler         string
+	MeanJCT           float64 // over finished jobs
+	Completed         int
+	Failed            int
+	Unfinished        int
+	RelaunchedMaps    int
+	RelaunchedReduces int
+	AttemptFailures   int
+	BlacklistedNodes  int
+}
+
+// FaultSweep runs the Wordcount batch under every scheduler across the
+// fault-intensity grid. Replication is raised to 3 so a single crash
+// cannot orphan input blocks (heavier rungs may still fail jobs — that is
+// part of what the sweep measures). All (intensity × scheduler) cells run
+// in parallel; results are in grid order and deterministic for any worker
+// count, since every simulation is self-contained.
+func FaultSweep(s Setup, grid []FaultIntensity) ([]FaultSweepPoint, error) {
+	if len(grid) == 0 {
+		grid = FaultIntensities()
+	}
+	s.Workload.Replication = 3
+	kinds := SchedulerKinds()
+	nodes := s.Engine.Topology.Racks * s.Engine.Topology.NodesPerRack
+	return runParallel(len(grid)*len(kinds), func(i int) (FaultSweepPoint, error) {
+		in, k := grid[i/len(kinds)], kinds[i%len(kinds)]
+		sp := s
+		sp.Engine.Faults = in.Plan(nodes)
+		res, err := sp.RunBatch(workload.Wordcount, sp.BuilderFor(k))
+		if err != nil {
+			return FaultSweepPoint{}, fmt.Errorf("%s under %v: %w", in.Name, k, err)
+		}
+		return FaultSweepPoint{
+			Intensity:         in.Name,
+			Scheduler:         k.String(),
+			MeanJCT:           res.JobCompletionCDF().Mean(),
+			Completed:         len(res.Jobs) - res.FailedJobs - res.Unfinished,
+			Failed:            res.FailedJobs,
+			Unfinished:        res.Unfinished,
+			RelaunchedMaps:    res.RelaunchedMaps,
+			RelaunchedReduces: res.RelaunchedReduces,
+			AttemptFailures:   res.AttemptFailures,
+			BlacklistedNodes:  res.BlacklistedNodes,
+		}, nil
+	})
+}
+
+// FaultSweepReport renders the sweep as a per-(intensity, scheduler) table.
+func FaultSweepReport(points []FaultSweepPoint) Report {
+	t := metrics.NewTable("Intensity", "Scheduler", "Mean JCT", "Done/Failed/Unfin", "Relaunched", "Attempt fails", "Blacklisted")
+	for _, p := range points {
+		jct := "-"
+		if p.Completed > 0 && !math.IsNaN(p.MeanJCT) {
+			jct = fmt.Sprintf("%.1fs", p.MeanJCT)
+		}
+		t.AddRow(p.Intensity, p.Scheduler, jct,
+			fmt.Sprintf("%d/%d/%d", p.Completed, p.Failed, p.Unfinished),
+			fmt.Sprintf("%dm+%dr", p.RelaunchedMaps, p.RelaunchedReduces),
+			p.AttemptFailures, p.BlacklistedNodes)
+	}
+	return Report{
+		ID:    "faultsweep",
+		Title: "Scheduler robustness across fault intensities (Wordcount, replication 3)",
+		Body:  t.String(),
+	}
+}

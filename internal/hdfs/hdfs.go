@@ -37,6 +37,7 @@ type Store struct {
 	rng    *sim.RNG
 	blocks []Block
 	usage  []float64 // bytes stored per node (counting replicas)
+	epoch  uint64    // bumped on every replica-set mutation after placement
 }
 
 // NewStore creates an empty store over the given network.
@@ -146,6 +147,53 @@ func (s *Store) Nearest(id BlockID, from topology.NodeID) (topology.NodeID, floa
 		}
 	}
 	return best, bestD
+}
+
+// Epoch returns the replica-mutation counter. Replica sets are immutable
+// between equal epochs, so caches keyed on replica locations (the core
+// cost model's per-block rows) can invalidate exactly. Initial placement
+// via AddBlock does not bump it: blocks are placed before any cache reads
+// them.
+func (s *Store) Epoch() uint64 { return s.epoch }
+
+// RemoveReplica deletes node n's replica of the block, preserving the
+// order of the survivors, and reports whether one was removed. The epoch
+// bumps only on an actual removal.
+func (s *Store) RemoveReplica(id BlockID, n topology.NodeID) bool {
+	b := &s.blocks[id]
+	for i, r := range b.Replicas {
+		if r == n {
+			b.Replicas = append(b.Replicas[:i], b.Replicas[i+1:]...)
+			s.usage[n] -= b.Size
+			s.epoch++
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveNodeReplicas deletes every replica stored on node n — the
+// namenode's view after a datanode is declared dead, or a scripted
+// replica-loss fault — and returns how many blocks lost a replica.
+// Blocks left with no replicas stay in the store; readers observe an
+// empty replica set and must fail or fall back.
+func (s *Store) RemoveNodeReplicas(n topology.NodeID) int {
+	lost := 0
+	for i := range s.blocks {
+		b := &s.blocks[i]
+		for j, r := range b.Replicas {
+			if r == n {
+				b.Replicas = append(b.Replicas[:j], b.Replicas[j+1:]...)
+				s.usage[n] -= b.Size
+				lost++
+				break
+			}
+		}
+	}
+	if lost > 0 {
+		s.epoch++
+	}
+	return lost
 }
 
 // Usage returns the bytes stored on node n across all replicas.

@@ -235,6 +235,12 @@ type Job struct {
 	Finished  sim.Time
 	DoneMaps  int
 	DoneReds  int
+
+	// Failed marks a job the engine terminated unsuccessfully — a task
+	// exhausted its attempt budget, or every replica of an unread input
+	// block was lost. A failed job is no longer scheduled; Done() stays
+	// false and Finished records the failure time.
+	Failed bool
 }
 
 // New instantiates a job: stores its input file, creates one map task per

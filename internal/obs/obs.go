@@ -35,11 +35,20 @@ const (
 	TaskFinish   Type = "task_finish"   // the task completed
 	SpecStart    Type = "spec_start"    // speculative backup attempt launched
 	SpecWin      Type = "spec_win"      // the backup finished first
-	NodeFail     Type = "node_fail"     // a node permanently failed
+	NodeFail     Type = "node_fail"     // a node permanently failed (crash instant)
 	TaskRelaunch Type = "task_relaunch" // a task re-queued by failure recovery
 	FlowStart    Type = "flow_start"
 	FlowRate     Type = "flow_rate" // a flow's max-min share changed
 	FlowFinish   Type = "flow_finish"
+
+	// Fault-injection and recovery events (internal/faults + engine).
+	FailureDetected Type = "failure_detected" // heartbeat-expiry declared the node dead
+	NodeSlow        Type = "node_slow"        // compute-rate degradation toggled
+	LinkDegrade     Type = "link_degrade"     // a node's access-link capacity scaled
+	AttemptFail     Type = "attempt_fail"     // a task attempt failed transiently
+	NodeBlacklist   Type = "node_blacklist"   // repeat-offender node removed from offers
+	ReplicaLoss     Type = "replica_loss"     // HDFS replicas removed from a node
+	JobFail         Type = "job_fail"         // a job terminated unsuccessfully
 )
 
 // TaskRef identifies one task within its job.
@@ -79,15 +88,16 @@ type FlowInfo struct {
 // Event is one observation. Fields not applicable to the event type are
 // zero and, where the encoding allows, omitted.
 type Event struct {
-	T        float64   `json:"t"`    // simulated time, seconds
+	T        float64   `json:"t"` // simulated time, seconds
 	Type     Type      `json:"type"`
 	Node     int       `json:"node"` // the node concerned; -1 when n/a
 	Job      string    `json:"job,omitempty"`
 	Task     *TaskRef  `json:"task,omitempty"`
 	Locality string    `json:"locality,omitempty"`
 	Reason   string    `json:"reason,omitempty"`
-	Wait     float64   `json:"wait,omitempty"` // submit→launch queue wait (task_start)
-	Dur      float64   `json:"dur,omitempty"`  // duration (task_finish, job_finish)
+	Wait     float64   `json:"wait,omitempty"`   // submit→launch queue wait (task_start)
+	Dur      float64   `json:"dur,omitempty"`    // duration (task_finish, job_finish)
+	Factor   float64   `json:"factor,omitempty"` // slowdown/degradation factor (node_slow, link_degrade)
 	Decision *Decision `json:"decision,omitempty"`
 	Flow     *FlowInfo `json:"flow,omitempty"`
 }

@@ -183,6 +183,26 @@ func (n *FlowNet) AddLink(capacity float64) LinkID {
 	return LinkID(len(n.links) - 1)
 }
 
+// SetLinkCapacity replaces a link's capacity (bytes/second) and re-shares
+// every flow, bumping the epoch so cost caches invalidate. Unlike AddLink,
+// zero is allowed: flows crossing a zero-capacity link stall at rate zero
+// (their completion events are parked) until capacity is restored, which
+// models a severed link without detaching its flows. Negative values clamp
+// to zero; setting the current capacity again is a no-op.
+func (n *FlowNet) SetLinkCapacity(l LinkID, capacity float64) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if n.links[l].capacity == capacity {
+		return
+	}
+	n.links[l].capacity = capacity
+	n.recompute(nil)
+}
+
+// LinkCapacity returns a link's current capacity (bytes/second).
+func (n *FlowNet) LinkCapacity(l LinkID) float64 { return n.links[l].capacity }
+
 // LinkFlowCount returns the number of active flows on l.
 func (n *FlowNet) LinkFlowCount(l LinkID) int { return len(n.links[l].flows) }
 

@@ -224,6 +224,20 @@ func (c *Cluster) InjectCrossTraffic(src, dst NodeID) *Flow {
 	return c.net.StartPersistentFlowBetween(src, dst, c.path(src, dst))
 }
 
+// SetHostLinkFactor scales node a's access-link capacity (both directions)
+// to factor × the spec's nominal HostLinkBps. Factors are absolute, not
+// cumulative: passing 1 restores the nominal capacity, 0 severs the link
+// (flows across it stall until restored). Used by fault injection to model
+// degraded host links; each call re-shares flows and bumps the epoch.
+func (c *Cluster) SetHostLinkFactor(a NodeID, factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	bps := c.spec.HostLinkBps * factor
+	c.net.SetLinkCapacity(c.hostUp[a], bps)
+	c.net.SetLinkCapacity(c.hostDown[a], bps)
+}
+
 // Net exposes the underlying flow network (for tests and metrics).
 func (c *Cluster) Net() *FlowNet { return c.net }
 

@@ -40,6 +40,7 @@ import (
 	"mapsched/internal/core"
 	"mapsched/internal/engine"
 	"mapsched/internal/experiments"
+	"mapsched/internal/faults"
 	"mapsched/internal/hdfs"
 	"mapsched/internal/obs"
 	"mapsched/internal/sched"
@@ -74,6 +75,23 @@ type (
 	JobResult     = engine.JobResult
 	ClusterConfig = engine.Config
 )
+
+// Fault-injection re-exports: a FaultPlan scripts node crashes, transient
+// slowdowns, link degradations and replica losses, plus the stochastic
+// per-attempt failure process and the retry/blacklist policy; see
+// WithFaultPlan. The zero FaultPlan injects nothing and runs are
+// bit-identical to ones without it.
+type (
+	FaultPlan        = faults.Plan
+	NodeCrash        = faults.NodeCrash
+	NodeSlowdown     = faults.NodeSlowdown
+	LinkDegradeFault = faults.LinkDegrade
+	ReplicaLossFault = faults.ReplicaLoss
+)
+
+// ParseFaultPlan parses the command-line fault DSL, e.g.
+// "crash:3@60;slow:7@30+120*2.5;link:4@10+40*0.1;taskfail:0.02".
+func ParseFaultPlan(spec string) (FaultPlan, error) { return faults.ParseSpec(spec) }
 
 // CostMode selects hop-count or network-condition distances.
 type CostMode = core.Mode
@@ -117,6 +135,10 @@ type options struct {
 	deterministic    bool
 	storageSubset    int
 	storageSubsetSet bool
+	faultPlan        faults.Plan
+	faultPlanSet     bool
+	hbExpiry         float64
+	hbExpirySet      bool
 	observers        []obs.Observer
 }
 
@@ -163,6 +185,23 @@ func WithDeterministic() Option { return func(o *options) { o.deterministic = tr
 // the default whole-cluster placement.
 func WithStorageSubset(k int) Option {
 	return func(o *options) { o.storageSubset = k; o.storageSubsetSet = true }
+}
+
+// WithFaultPlan installs a deterministic fault-injection script: node
+// crashes with heartbeat-expiry detection, transient slowdowns, link
+// degradations, replica losses and a per-attempt failure probability,
+// recovered by task retry and node blacklisting. The plan is validated
+// against the cluster inside New. An explicit zero plan clears any plan
+// carried by the cluster config.
+func WithFaultPlan(p FaultPlan) Option {
+	return func(o *options) { o.faultPlan = p; o.faultPlanSet = true }
+}
+
+// WithHeartbeatExpiry sets how long after a node stops heartbeating the
+// JobTracker declares it dead and starts recovery (default: 10 × the
+// heartbeat interval).
+func WithHeartbeatExpiry(seconds float64) Option {
+	return func(o *options) { o.hbExpiry = seconds; o.hbExpirySet = true }
 }
 
 // WithObserver attaches an event sink at construction time; equivalent to
@@ -237,6 +276,15 @@ func New(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (
 	}
 	if o.crossTrafficSet {
 		cfg.CrossTraffic = o.crossTraffic
+	}
+	if o.faultPlanSet {
+		cfg.Faults = o.faultPlan
+	}
+	if o.hbExpirySet {
+		if o.hbExpiry < 0 {
+			return nil, fmt.Errorf("mapsched: negative heartbeat expiry %v", o.hbExpiry)
+		}
+		cfg.HeartbeatExpiry = o.hbExpiry
 	}
 	wo := workload.Options{
 		Scale:         o.scale,
