@@ -1,11 +1,13 @@
 # Development entry points. `make check` is the full gate run before
-# committing: vet, build, the complete test suite under the race
-# detector, and a short benchmark smoke proving the perf-critical
-# benches still run. `make bench` regenerates BENCH_baseline.json.
+# committing: vet, the schedlint static contracts, build, the complete
+# test suite under the race detector, and a short benchmark smoke
+# proving the perf-critical benches still run. `make bench`
+# regenerates BENCH_baseline.json.
 
 GO ?= go
+SCHEDLINT ?= bin/schedlint
 
-.PHONY: all build vet test race bench-smoke bench check experiments
+.PHONY: all build vet lint test race bench-smoke bench check experiments FORCE
 
 all: check
 
@@ -14,6 +16,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# schedlint statically enforces the simulator's determinism and cache
+# invalidation contracts (see DESIGN.md §12): nodeterminism, epochbump,
+# obsvocab and optflag, run through the `go vet` tool protocol.
+$(SCHEDLINT): FORCE
+	$(GO) build -o $(SCHEDLINT) ./cmd/schedlint
+
+lint: $(SCHEDLINT)
+	$(GO) vet -vettool=$(SCHEDLINT) ./...
+
+FORCE:
 
 test:
 	$(GO) test ./...
@@ -34,7 +47,7 @@ bench-smoke:
 bench:
 	sh scripts/bench.sh
 
-check: vet build race bench-smoke
+check: vet lint build race bench-smoke
 
 # Regenerate the paper's tables and figures at the canonical scale.
 experiments:

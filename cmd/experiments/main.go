@@ -12,6 +12,12 @@
 // simulations run concurrently (default GOMAXPROCS); results are
 // identical for any worker count since every simulation is independent
 // and deterministic in its seed.
+//
+// Wall-clock timing below is progress reporting only and goes to
+// stderr exclusively: stdout carries nothing but the deterministic
+// experiment tables, so two runs with the same seed stay diffable.
+//
+//lint:allow nodeterminism wall-clock progress timing, stderr only
 package main
 
 import (

@@ -1,0 +1,30 @@
+// Command schedlint is the repository's custom static-analysis suite,
+// statically enforcing the simulator's determinism and cache
+// invalidation contracts:
+//
+//	nodeterminism  no wall-clock reads, global math/rand draws, or
+//	               map-iteration order escaping into simulation state
+//	               or emitted output
+//	epochbump      mutations of //lint:epoch-guarded fields (FlowNet
+//	               capacities, HDFS replica sets) must bump an epoch
+//	obsvocab       obs event emissions must use registered event-type
+//	               constants, keeping the golden-JSONL schema closed
+//	optflag        functional options guarded by set flags must write
+//	               their flag (the WithCrossTraffic(0) bug class)
+//
+// It speaks the `go vet` tool protocol; run it through the driver:
+//
+//	go build -o bin/schedlint ./cmd/schedlint
+//	go vet -vettool=bin/schedlint ./...
+//
+// or simply `make lint`. A file can suppress one analyzer with a
+// file-level `//lint:allow <analyzer> [reason]` comment.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"mapsched/internal/lint"
+)
+
+func main() { unitchecker.Main(lint.Analyzers()...) }

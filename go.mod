@@ -1,3 +1,13 @@
 module mapsched
 
-go 1.22
+go 1.22.0
+
+toolchain go1.24.0
+
+// schedlint (cmd/schedlint, internal/lint) builds on the go/analysis
+// framework. The dependency is pinned and served from an in-tree copy
+// (third_party/golang.org/x/tools, the subset vendored by the Go
+// toolchain itself), so `go build ./...` works without module downloads.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -19,8 +19,8 @@ type BlockID int
 // Block is one replicated chunk of a file.
 type Block struct {
 	ID       BlockID
-	Size     float64 // bytes (B_j in the paper)
-	Replicas []topology.NodeID
+	Size     float64           // bytes (B_j in the paper)
+	Replicas []topology.NodeID //lint:epoch-guarded replica locations feed cached cost rows; see Store.epoch
 }
 
 // PlacementPolicy chooses the data nodes holding a new block's replicas.

@@ -1,0 +1,94 @@
+// Package directive parses the control comments understood by the
+// schedlint analyzers:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// suppresses every diagnostic of the named analyzers for the whole file
+// containing the comment (the escape hatch for the seeded RNG wrapper in
+// internal/sim/rng.go and the wall-clock progress printing in cmd/), and
+//
+//	//lint:epoch-guarded
+//
+// on a struct field declaration marks the field as covered by the
+// epoch-invalidation contract: any function in the package that writes
+// the field must (directly or through intra-package calls) bump an
+// `epoch` counter, which the epochbump analyzer enforces.
+package directive
+
+import (
+	"go/ast"
+	"strings"
+)
+
+const (
+	allowPrefix = "//lint:allow"
+	guardMarker = "//lint:epoch-guarded"
+)
+
+// ParseAllow extracts the analyzer names from a single comment line. It
+// returns nil when the comment is not an allow directive (including the
+// malformed bare "//lint:allow" with no names). Names are separated by
+// commas; anything after the first whitespace run following the name
+// list is a free-form reason and is ignored.
+func ParseAllow(text string) []string {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok {
+		return nil
+	}
+	// Require a separator so "//lint:allowed" style comments don't match.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// FileAllows reports whether any comment in f suppresses the named
+// analyzer for the whole file. The directive is file-level: it may sit
+// in the package doc comment, above any declaration, or on its own line.
+func FileAllows(f *ast.File, analyzer string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, n := range ParseAllow(c.Text) {
+				if n == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// IsEpochGuarded reports whether a struct field declaration carries the
+// //lint:epoch-guarded marker in its doc comment or trailing line
+// comment.
+func IsEpochGuarded(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if isGuardComment(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isGuardComment(text string) bool {
+	rest, ok := strings.CutPrefix(text, guardMarker)
+	if !ok {
+		return false
+	}
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':'
+}

@@ -1,0 +1,87 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+
+	"mapsched/internal/lint/directive"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//lint:allow nodeterminism", []string{"nodeterminism"}},
+		{"//lint:allow nodeterminism seeded RNG wrapper", []string{"nodeterminism"}},
+		{"//lint:allow nodeterminism,epochbump", []string{"nodeterminism", "epochbump"}},
+		{"//lint:allow a, b", []string{"a"}}, // names end at the first whitespace
+		{"//lint:allow  obsvocab\treason words", []string{"obsvocab"}},
+		{"//lint:allow ,,", nil},  // empty name list
+		{"//lint:allow", nil},     // bare directive names nothing
+		{"//lint:allowed x", nil}, // not the directive
+		{"// lint:allow x", nil},  // space breaks the marker
+		{"//lint:epoch-guarded", nil},
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		if got := directive.ParseAllow(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseAllow(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFileAllows(t *testing.T) {
+	doc := parse(t, "// Package p does things.\n//\n//lint:allow nodeterminism wall-clock progress\npackage p\n")
+	if !directive.FileAllows(doc, "nodeterminism") {
+		t.Error("doc-comment directive not recognized")
+	}
+	if directive.FileAllows(doc, "epochbump") {
+		t.Error("directive leaked to an unnamed analyzer")
+	}
+
+	inner := parse(t, "package p\n\n//lint:allow optflag legacy shim\nfunc f() {}\n")
+	if !directive.FileAllows(inner, "optflag") {
+		t.Error("declaration-level directive not recognized")
+	}
+
+	plain := parse(t, "package p\n\n// no directives here\nfunc f() {}\n")
+	if directive.FileAllows(plain, "nodeterminism") {
+		t.Error("false positive on a plain comment")
+	}
+}
+
+func TestIsEpochGuarded(t *testing.T) {
+	src := `package p
+
+type s struct {
+	a int //lint:epoch-guarded
+	b int //lint:epoch-guarded capacity invalidation
+	//lint:epoch-guarded
+	c int
+	d int // plain trailing comment
+	e int //lint:epoch-guardedish
+}
+`
+	f := parse(t, src)
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": false, "e": false}
+	st := f.Decls[0].(*ast.GenDecl).Specs[0].(*ast.TypeSpec).Type.(*ast.StructType)
+	for _, field := range st.Fields.List {
+		name := field.Names[0].Name
+		if got := directive.IsEpochGuarded(field); got != want[name] {
+			t.Errorf("IsEpochGuarded(%s) = %v, want %v", name, got, want[name])
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package epochbump_test
+
+import (
+	"testing"
+
+	"mapsched/internal/lint/epochbump"
+	"mapsched/internal/lint/linttest"
+)
+
+func TestEpochbump(t *testing.T) {
+	linttest.Run(t, epochbump.Analyzer, "epoch")
+}

@@ -1,0 +1,58 @@
+// Package epoch exercises the epochbump analyzer: every write to a
+// //lint:epoch-guarded field must reach an epoch bump, directly or
+// through intra-package calls.
+package epoch
+
+type store struct {
+	caps  []float64 //lint:epoch-guarded capacity changes invalidate cached rates
+	alpha float64   //lint:epoch-guarded
+	name  string    // unguarded
+	epoch uint64
+}
+
+func (s *store) SetCapDirect(i int, c float64) {
+	s.caps[i] = c
+	s.epoch++
+}
+
+func (s *store) SetCapViaCallee(i int, c float64) {
+	s.caps[i] = c
+	s.invalidate()
+}
+
+func (s *store) SetCapTransitive(i int, c float64) {
+	s.caps[i] = c
+	s.refresh()
+}
+
+func (s *store) refresh()    { s.invalidate() }
+func (s *store) invalidate() { s.epoch++ }
+
+func (s *store) SetCapForgotten(i int, c float64) {
+	s.caps[i] = c // want `SetCapForgotten writes epoch-guarded field "caps" without bumping an epoch`
+}
+
+func (s *store) SetAlphaForgotten(a float64) {
+	if s.alpha == a {
+		return
+	}
+	s.alpha = a // want `SetAlphaForgotten writes epoch-guarded field "alpha" without bumping an epoch`
+}
+
+func (s *store) SetAlpha(a float64) {
+	s.alpha = a
+	s.epoch++
+}
+
+func (s *store) Rename(n string) {
+	s.name = n // unguarded fields need no bump
+}
+
+func (s *store) ReplaceCaps(cs []float64) {
+	s.caps = cs // want `ReplaceCaps writes epoch-guarded field "caps" without bumping an epoch`
+}
+
+func (s *store) AppendCap(c float64) {
+	s.caps = append(s.caps, c)
+	s.epoch++
+}

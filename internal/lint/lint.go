@@ -1,0 +1,23 @@
+// Package lint assembles the schedlint analyzer suite: the static
+// contracts the simulator's determinism guarantees rest on. See
+// DESIGN.md §12 for the invariant each analyzer encodes.
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"mapsched/internal/lint/epochbump"
+	"mapsched/internal/lint/nodeterminism"
+	"mapsched/internal/lint/obsvocab"
+	"mapsched/internal/lint/optflag"
+)
+
+// Analyzers returns the full schedlint suite in a fixed order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nodeterminism.Analyzer,
+		epochbump.Analyzer,
+		obsvocab.Analyzer,
+		optflag.Analyzer,
+	}
+}

@@ -1,0 +1,210 @@
+// Package linttest is a self-contained analysistest substitute: it
+// runs one analyzer over a testdata package and checks the reported
+// diagnostics against `// want` comments, using the same conventions
+// as golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := bad() // want `regexp matching the diagnostic`
+//
+// Multiple expectations on one line are multiple quoted regexps. The
+// harness type-checks testdata with the source importer, so testdata
+// packages may import the standard library but nothing else — which
+// also keeps the analyzer contract tests hermetic (no module proxy,
+// no go command).
+//
+// (The real analysistest depends on go/packages and is not part of
+// the vendored x/tools subset this repository builds against.)
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the package in testdata/src/<pkg>, applies the analyzer,
+// and reports any mismatch between diagnostics and // want comments as
+// test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	diags, fset, files := runAnalyzer(t, a, dir)
+	checkExpectations(t, fset, files, diags)
+}
+
+// RunFiles is Run over an explicit directory (used by the directive
+// tests to lint arbitrary fixtures).
+func RunFiles(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	diags, _, _ := runAnalyzer(t, a, dir)
+	return diags
+}
+
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkgName := files[0].Name.Name
+	tpkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: typecheck %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if len(a.Requires) > 0 {
+		t.Fatalf("linttest: analyzer %s has Requires; this harness runs dependency-free analyzers only", a.Name)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s failed: %v", a.Name, err)
+	}
+	return diags, fset, files
+}
+
+// wantRE extracts the quoted or backquoted expectation patterns from a
+// // want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	want := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllString(text[idx+len("// want "):], -1) {
+					pat := m
+					if pat[0] == '"' {
+						unq, err := strconv.Unquote(pat)
+						if err != nil {
+							t.Fatalf("linttest: bad want pattern %s at %s: %v", pat, pos, err)
+						}
+						pat = unq
+					} else {
+						pat = pat[1 : len(pat)-1]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: bad want regexp %s at %s: %v", pat, pos, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					want[k] = append(want[k], re)
+				}
+			}
+		}
+	}
+
+	got := map[key][]string{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	var keys []key
+	seen := map[key]bool{}
+	for k := range want {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	for k := range got {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+
+	for _, k := range keys {
+		ws, gs := want[k], got[k]
+		unmatched := append([]string(nil), gs...)
+		for _, re := range ws {
+			hit := -1
+			for i, msg := range unmatched {
+				if re.MatchString(msg) {
+					hit = i
+					break
+				}
+			}
+			if hit < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %s)", k.file, k.line, re, fmtMsgs(gs))
+				continue
+			}
+			unmatched = append(unmatched[:hit], unmatched[hit+1:]...)
+		}
+		for _, msg := range unmatched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+}
+
+func fmtMsgs(msgs []string) string {
+	if len(msgs) == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%q", msgs)
+}

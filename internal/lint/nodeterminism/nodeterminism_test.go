@@ -1,0 +1,12 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"mapsched/internal/lint/linttest"
+	"mapsched/internal/lint/nodeterminism"
+)
+
+func TestNodeterminism(t *testing.T) {
+	linttest.Run(t, nodeterminism.Analyzer, "nodet")
+}

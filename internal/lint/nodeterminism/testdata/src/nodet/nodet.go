@@ -1,0 +1,129 @@
+// Package nodet exercises the nodeterminism analyzer: wall-clock
+// reads, global math/rand draws, and map-iteration order escaping
+// into collected or emitted output.
+package nodet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall clock ---
+
+func clock() time.Duration {
+	t0 := time.Now()      // want `call to time\.Now reads the wall clock`
+	time.Sleep(1)         // want `call to time\.Sleep reads the wall clock`
+	return time.Since(t0) // want `call to time\.Since reads the wall clock`
+}
+
+func durationsAreFine() time.Duration {
+	return 3 * time.Millisecond
+}
+
+// --- global math/rand ---
+
+func globalDraws() {
+	_ = rand.Intn(5)                   // want `call to global rand\.Intn draws from the unseeded process-wide stream`
+	_ = rand.Float64()                 // want `call to global rand\.Float64 draws from the unseeded process-wide stream`
+	rand.Shuffle(3, func(i, j int) {}) // want `call to global rand\.Shuffle`
+}
+
+func seededIsFine() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(5)
+}
+
+// --- map iteration order ---
+
+func escapesOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration captures nondeterministic map order`
+	}
+	return keys
+}
+
+func sortedAfterIsFine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceIsFine(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func innerAppendIsFine(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+type collector struct {
+	items []string
+}
+
+func fieldEscape(c *collector, m map[string]int) {
+	for k := range m {
+		c.items = append(c.items, k) // want `append to items inside map iteration captures nondeterministic map order`
+	}
+}
+
+func fieldSortedIsFine(c *collector, m map[string]int) {
+	for k := range m {
+		c.items = append(c.items, k)
+	}
+	sort.Strings(c.items)
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation into s inside map iteration captures nondeterministic map order`
+	}
+	return s
+}
+
+type stream struct{}
+
+func (stream) Emit(string)    {}
+func (stream) Observe(string) {}
+
+func emits(st stream, m map[string]int, ch chan string) {
+	for k := range m {
+		st.Emit(k)     // want `Emit call inside map iteration emits in nondeterministic map order`
+		st.Observe(k)  // want `Observe call inside map iteration emits in nondeterministic map order`
+		fmt.Println(k) // want `fmt\.Println inside map iteration prints in nondeterministic map order`
+		ch <- k        // want `channel send inside map iteration publishes values in nondeterministic map order`
+	}
+}
+
+func sprintfAloneIsFine(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += len(fmt.Sprintf("%s", k))
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+package obsvocab_test
+
+import (
+	"testing"
+
+	"mapsched/internal/lint/linttest"
+	"mapsched/internal/lint/obsvocab"
+)
+
+func TestObsvocab(t *testing.T) {
+	linttest.Run(t, obsvocab.Analyzer, "vocab")
+}

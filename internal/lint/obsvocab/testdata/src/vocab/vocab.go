@@ -1,0 +1,56 @@
+// Package vocab exercises the obsvocab analyzer: string literals must
+// not stand in for registered constants of a closed vocabulary type.
+package vocab
+
+type Kind string
+
+const (
+	KindStart  Kind = "start"
+	KindFinish Kind = "finish"
+)
+
+// Plain string types with no constants are not a vocabulary.
+type label string
+
+type event struct {
+	K    Kind
+	Note label
+	Text string
+}
+
+func sink(event) {}
+
+func constantsAreFine() {
+	sink(event{K: KindStart})
+	sink(event{K: KindFinish, Note: "free-form", Text: "free-form"})
+}
+
+func literals() {
+	sink(event{K: "start"})   // want `string literal "start" used as vocab\.Kind; use the registered constant KindStart`
+	sink(event{K: "mystery"}) // want `string literal "mystery" is not a registered vocab\.Kind constant`
+}
+
+func comparisons(e event) bool {
+	return e.K == "finish" // want `string literal "finish" used as vocab\.Kind; use the registered constant KindFinish`
+}
+
+func conversions() Kind {
+	return Kind("start") // want `string literal "start" used as vocab\.Kind; use the registered constant KindStart`
+}
+
+func switches(e event) int {
+	switch e.K {
+	case KindStart:
+		return 1
+	case "finish": // want `string literal "finish" used as vocab\.Kind; use the registered constant KindFinish`
+		return 2
+	}
+	return 0
+}
+
+func mapKeys() map[Kind]bool {
+	return map[Kind]bool{
+		KindStart: true,
+		"zzz":     true, // want `string literal "zzz" is not a registered vocab\.Kind constant`
+	}
+}

@@ -1,0 +1,12 @@
+package optflag_test
+
+import (
+	"testing"
+
+	"mapsched/internal/lint/linttest"
+	"mapsched/internal/lint/optflag"
+)
+
+func TestOptflag(t *testing.T) {
+	linttest.Run(t, optflag.Analyzer, "optf")
+}

@@ -1,0 +1,59 @@
+// Package optf exercises the optflag analyzer: option-shaped functions
+// writing a set-flag-guarded field must also write the flag.
+package optf
+
+type options struct {
+	seed     int64 // unguarded: no seedSet sibling
+	cross    int
+	crossSet bool
+	mode     int
+	modeSet  bool
+	obs      []string
+}
+
+// Option is the usual functional-option shape.
+type Option func(*options)
+
+func WithSeed(s int64) Option {
+	return func(o *options) { o.seed = s } // unguarded field, no flag required
+}
+
+func WithCross(n int) Option {
+	return func(o *options) { o.cross = n; o.crossSet = true }
+}
+
+func WithCrossBroken(n int) Option {
+	return func(o *options) { o.cross = n } // want `option sets "cross" but not its set flag "crossSet"`
+}
+
+func WithMode(m int) Option {
+	return func(o *options) {
+		o.modeSet = true
+		o.mode = m // flag written first is still fine
+	}
+}
+
+func WithModeBroken(m int) Option {
+	return func(o *options) {
+		o.mode = m // want `option sets "mode" but not its set flag "modeSet"`
+	}
+}
+
+func WithObs(s string) Option {
+	return func(o *options) { o.obs = append(o.obs, s) } // unguarded append-style option
+}
+
+// applyDefaults is a method, not an option: defaulting may write
+// values without flags.
+func (o *options) applyDefaults() {
+	if !o.modeSet {
+		o.mode = 7
+	}
+}
+
+// resolve takes the struct but returns a value, so it is not
+// option-shaped either.
+func resolve(o *options) int {
+	o.cross = 0
+	return o.cross
+}

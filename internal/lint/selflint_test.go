@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelfLint builds the schedlint vet tool and runs it over the
+// whole repository: the analyzers must pass clean on the codebase
+// whose invariants they encode (the no-false-positive check on real
+// code, and the gate that keeps future PRs honest). This is the same
+// invocation `make lint` and CI use.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module and re-typechecks every package")
+	}
+
+	root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	moduleDir := strings.TrimSpace(string(root))
+
+	bin := filepath.Join(t.TempDir(), "schedlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/schedlint")
+	build.Dir = moduleDir
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building schedlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = moduleDir
+	var buf bytes.Buffer
+	vet.Stdout = &buf
+	vet.Stderr = &buf
+	if err := vet.Run(); err != nil {
+		t.Fatalf("schedlint found violations in the repository:\n%s", buf.String())
+	}
+	if s := strings.TrimSpace(buf.String()); s != "" {
+		t.Errorf("schedlint produced unexpected output on a clean repo:\n%s", s)
+	}
+}

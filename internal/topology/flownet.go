@@ -52,7 +52,7 @@ func (f *Flow) Finished() bool { return f.finished }
 // times cheaper than ranging a map. Order within the slice is arbitrary
 // but immaterial — every consumer either sorts or commutes exactly.
 type link struct {
-	capacity float64
+	capacity float64 //lint:epoch-guarded rate shares derive from it; see FlowNet.epoch
 	flows    []*Flow
 }
 
@@ -71,7 +71,7 @@ type FlowNet struct {
 	// compacted lazily. liveCount is the exact number of live entries.
 	liveList  []*Flow
 	liveCount int
-	alpha     float64 // congestion inefficiency; see Spec.CongestionAlpha
+	alpha     float64 //lint:epoch-guarded congestion inefficiency scales every effective capacity; see Spec.CongestionAlpha
 
 	// epoch counts rate recomputations. Any quantity derived from link
 	// occupancy or flow rates (ProspectiveRate, PathRate) is constant
@@ -107,12 +107,19 @@ func NewFlowNet(eng *sim.Engine) *FlowNet {
 }
 
 // SetCongestionAlpha sets the goodput-degradation coefficient: a link
-// with n concurrent flows delivers capacity/(1 + alpha·(n−1)).
+// with n concurrent flows delivers capacity/(1 + alpha·(n−1)). Changing
+// it re-shares every live flow and bumps the epoch — alpha scales every
+// effective capacity, so costs cached against the previous epoch would
+// otherwise survive stale. Setting the current value is a no-op.
 func (n *FlowNet) SetCongestionAlpha(alpha float64) {
 	if alpha < 0 {
 		alpha = 0
 	}
+	if n.alpha == alpha {
+		return
+	}
 	n.alpha = alpha
+	n.recompute(nil)
 }
 
 // SetStream attaches the observability stream flow events are emitted

@@ -1,0 +1,9 @@
+// Local vendor of the golang.org/x/tools subset needed by the schedlint
+// analyzers (go/analysis core, unitchecker, inspector and their internal
+// dependencies), taken verbatim from the Go toolchain's cmd/vendor tree
+// (golang.org/x/tools v0.28.1-0.20250131145412-98746475647e). The main
+// module pins this exact version and points at this directory with a
+// replace directive, so builds need no network access.
+module golang.org/x/tools
+
+go 1.22.0
