@@ -2,7 +2,7 @@
 # committing: vet, the schedlint static contracts, build, the complete
 # test suite under the race detector, and a short benchmark smoke
 # proving the perf-critical benches still run. `make bench`
-# regenerates BENCH_baseline.json.
+# regenerates BENCH_baseline.json and BENCH_scale.json.
 
 GO ?= go
 SCHEDLINT ?= bin/schedlint
@@ -36,14 +36,19 @@ race:
 
 # Quick smoke of the performance-critical benchmarks (fixed small
 # iteration counts; seconds, not minutes). The fault-churn macro bench
-# runs once so recovery-path regressions and stalls surface in CI.
+# runs once so recovery-path regressions and stalls surface in CI, and
+# the cluster-scale selection bench runs its whole 100→5000-node grid
+# so a scaling regression in the class-collapsed hot path surfaces too.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCore_|BenchmarkTopology_FlowChurn' \
 		-benchmem -benchtime 200x .
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulation_FaultChurn' \
 		-benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSelect_ClusterScale' \
+		-benchmem -benchtime 20x .
 
-# Full benchmark pass; records results in BENCH_baseline.json.
+# Full benchmark pass; records results in BENCH_baseline.json and
+# the cluster-size trajectory in BENCH_scale.json.
 bench:
 	sh scripts/bench.sh
 

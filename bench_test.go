@@ -477,7 +477,7 @@ func benchSelectMapTask(b *testing.B, cached bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := core.SelectMapTaskWith(ev, j.Maps, topology.NodeID(i%60), avail); !ok {
+		if _, ok := core.SelectMapTaskWith(ev, nil, j.Maps, topology.NodeID(i%60), core.NewAvail(avail)); !ok {
 			b.Fatal("no candidate")
 		}
 	}
@@ -629,6 +629,121 @@ func BenchmarkAnalysis_TradeoffCurve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := analysis.TradeoffCurve(costs, core.Exponential{}, pmins); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// flatView hides a Cluster's ClassedNetwork interface so a hop-mode cost
+// model over it takes the per-node path — the pre-class-collapse code,
+// kept measurable as the baseline BenchmarkSelect_ClusterScale compares
+// against. Distances are bit-identical to the classed view.
+type flatView struct{ c *topology.Cluster }
+
+func (f flatView) Size() int                             { return f.c.Size() }
+func (f flatView) Distance(a, b topology.NodeID) float64 { return f.c.Distance(a, b) }
+func (f flatView) Rack(a topology.NodeID) int            { return f.c.Rack(a) }
+
+// scaleSelectFixture builds an idle cluster of the given size with one
+// job of pending maps, returning the avail-set pair the benchmark
+// toggles between (full set, and full set minus one node) with
+// incrementally maintained per-class counts — the same churn-per-offer
+// regime the engine produces when slots fill and free on every event.
+func scaleSelectFixture(b *testing.B, nodes int) (*topology.Cluster, *hdfs.Store, *job.Job, [2]core.Avail) {
+	b.Helper()
+	spec := topology.DefaultSpec()
+	spec.NodesPerRack = 20
+	spec.Racks = nodes / 20
+	cl, err := topology.NewCluster(sim.NewEngine(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	store := hdfs.NewStore(cl, rng)
+	j, err := job.New(1, job.Spec{
+		Name:        "scalebench",
+		Profile:     workload.ProfileFor(workload.Wordcount),
+		InputBytes:  100 * 128e6,
+		BlockSize:   128e6,
+		NumReduces:  30,
+		Replication: 3,
+	}, store, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := make([]topology.NodeID, nodes)
+	for i := range full {
+		full[i] = topology.NodeID(i)
+	}
+	classes := cl.Classes()
+	counts := make([]int, classes.Num())
+	for _, n := range full {
+		counts[classes.Of(n)]++
+	}
+	// Variant B: node 7 lost its free slot.
+	partial := append(append([]topology.NodeID(nil), full[:7]...), full[8:]...)
+	countsB := append([]int(nil), counts...)
+	countsB[classes.Of(7)]--
+	return cl, store, j, [2]core.Avail{
+		{Nodes: full, Counts: counts, Version: 1},
+		{Nodes: partial, Counts: countsB, Version: 2},
+	}
+}
+
+// BenchmarkSelect_ClusterScale measures one Algorithm 1 slot offer (the
+// per-heartbeat hot path) across cluster sizes, with the avail set
+// churning on every offer as it does under live slot traffic:
+//
+//	classed - production path: class-collapsed C_avg + pruning (this PR)
+//	pernode - the pre-PR cached path: per-node distance rows, O(nodes)
+//	          re-summation per avail change
+//	naive   - the seed path: direct Formula 1 over every (task, node)
+//
+// Per-offer time for classed grows with the number of distance classes
+// (racks), not nodes; BENCH_scale.json records the trajectory.
+func BenchmarkSelect_ClusterScale(b *testing.B) {
+	for _, nodes := range []int{100, 500, 1000, 2000, 5000} {
+		cl, store, j, avails := scaleSelectFixture(b, nodes)
+		for _, variant := range []string{"classed", "pernode", "naive"} {
+			var ev core.MapCostEvaluator
+			switch variant {
+			case "classed":
+				cm, err := core.NewCostModel(cl, store, nil, core.ModeHops)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cm.Classes() == nil {
+					b.Fatal("cluster did not collapse into classes")
+				}
+				ev = cm.NewMapCoster()
+			case "pernode":
+				cm, err := core.NewCostModel(flatView{cl}, store, nil, core.ModeHops)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cm.Classes() != nil {
+					b.Fatal("flat view unexpectedly classed")
+				}
+				ev = cm.NewMapCoster()
+			case "naive":
+				cm, err := core.NewCostModel(flatView{cl}, store, nil, core.ModeHops)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev = cm.Evaluator()
+			}
+			b.Run(fmt.Sprintf("n%d/%s", nodes, variant), func(b *testing.B) {
+				version := uint64(3)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a := avails[i%2]
+					a.Version = version // distinct identity per offer: the churn regime
+					version++
+					if _, ok := core.SelectMapTaskWith(ev, nil, j.Maps, topology.NodeID(i%nodes), a); !ok {
+						b.Fatal("no candidate")
+					}
+				}
+			})
 		}
 	}
 }

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-run all|tableII|fig3|fig4|fig5|fig6|tableIII|fig7|util|pmin|ablations|faultsweep]
-//	            [-scale N] [-seed N] [-pmin P] [-workers N]
+//	experiments [-run all|tableII|fig3|fig4|fig5|fig6|tableIII|fig7|util|pmin|ablations|faultsweep|scale]
+//	            [-scale N] [-seed N] [-pmin P] [-workers N] [-sizes N,N,...]
 //
 // -scale divides workload sizes and task counts; 1 reproduces Table II's
 // exact task counts (slow), 3 is the canonical setting used for
@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mapsched/internal/experiments"
@@ -37,6 +39,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		pmin    = flag.Float64("pmin", 0.4, "probability threshold P_min")
 		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		sizes   = flag.String("sizes", "", "scale sweep cluster sizes, comma-separated node counts (multiples of 20; empty = 100,500,1000,2000,5000)")
 	)
 	flag.Parse()
 
@@ -48,13 +51,39 @@ func main() {
 	s.Engine.Seed = *seed
 	s.Pmin = *pmin
 
-	if err := runExperiments(s, *run); err != nil {
+	grid, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if err := runExperiments(s, *run, grid); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(s experiments.Setup, which string) error {
+// parseSizes turns "-sizes 100,500" into the sweep grid at 20 nodes per
+// rack (the grid's fixed rack width); an empty string keeps the default.
+func parseSizes(s string) ([]experiments.ScaleSize, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var grid []experiments.ScaleSize
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -sizes entry %q: %w", part, err)
+		}
+		if n < 20 || n%20 != 0 {
+			return nil, fmt.Errorf("-sizes entry %d must be a positive multiple of 20", n)
+		}
+		grid = append(grid, experiments.ScaleSize{Racks: n / 20, NodesPerRack: 20})
+	}
+	return grid, nil
+}
+
+func runExperiments(s experiments.Setup, which string, sizes []experiments.ScaleSize) error {
 	// Static reports need no simulation.
 	switch which {
 	case "tableII":
@@ -94,6 +123,15 @@ func runExperiments(s experiments.Setup, which string) error {
 			return err
 		}
 		fmt.Println(experiments.FaultSweepReport(pts))
+		return nil
+	case "scale":
+		start := time.Now()
+		pts, err := experiments.ScaleSweep(s, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scale sweep done in %s\n", time.Since(start).Truncate(time.Millisecond))
+		fmt.Println(experiments.ScaleReport(pts))
 		return nil
 	case "jobpolicy":
 		pts, err := experiments.JobPolicyComparison(s)

@@ -54,12 +54,42 @@ type Node struct {
 	capacity          Resources
 	used              Resources
 	mapReq, reduceReq Resources
+
+	// st points back to the owning State so slot transitions keep the
+	// cluster-wide availability sets incremental; nil for bare Node values
+	// built outside New (unit tests), which then behave as before.
+	st *State
+}
+
+// freeBefore snapshots the node's availability in both slot kinds; paired
+// with noteChange around every mutation.
+func (n *Node) freeBefore() (mapFree, reduceFree bool) {
+	return n.FreeMapSlots() > 0, n.FreeReduceSlots() > 0
+}
+
+// noteChange compares the node's availability against the pre-mutation
+// snapshot and tells the State about 0↔free transitions, keeping the
+// avail sets and their per-class counts exact without per-offer rescans.
+func (n *Node) noteChange(mapWasFree, reduceWasFree bool) {
+	if n.st == nil {
+		return
+	}
+	if f := n.FreeMapSlots() > 0; f != mapWasFree {
+		n.st.availMap.flip(n.ID, f)
+	}
+	if f := n.FreeReduceSlots() > 0; f != reduceWasFree {
+		n.st.availReduce.flip(n.ID, f)
+	}
 }
 
 // SetOffline marks the node dead (failure injection): it stops offering
 // slots. Slot bookkeeping of already-killed tasks must be released before
 // going offline.
-func (n *Node) SetOffline(off bool) { n.offline = off }
+func (n *Node) SetOffline(off bool) {
+	bm, br := n.freeBefore()
+	n.offline = off
+	n.noteChange(bm, br)
+}
 
 // Offline reports whether the node is dead.
 func (n *Node) Offline() bool { return n.offline }
@@ -68,7 +98,11 @@ func (n *Node) Offline() bool { return n.offline }
 // slots (and so drops out of the scheduler's candidate sets) but, unlike
 // an offline node, keeps running its already-launched tasks — Hadoop's
 // per-job TaskTracker blacklist behaviour.
-func (n *Node) SetBlacklisted(b bool) { n.blacklisted = b }
+func (n *Node) SetBlacklisted(b bool) {
+	bm, br := n.freeBefore()
+	n.blacklisted = b
+	n.noteChange(bm, br)
+}
 
 // Blacklisted reports whether the node is blacklisted.
 func (n *Node) Blacklisted() bool { return n.blacklisted }
@@ -85,10 +119,12 @@ func (n *Node) EnableResources(capacity, mapReq, reduceReq Resources) error {
 	if n.usedMap != 0 || n.usedReduce != 0 {
 		return fmt.Errorf("cluster: node %d: cannot switch modes with tasks running", n.ID)
 	}
+	bm, br := n.freeBefore()
 	n.resourceMode = true
 	n.capacity = capacity
 	n.mapReq = mapReq
 	n.reduceReq = reduceReq
+	n.noteChange(bm, br)
 	return nil
 }
 
@@ -131,6 +167,7 @@ func (n *Node) UsedReduceSlots() int { return n.usedReduce }
 
 // AcquireMap occupies a map slot (or container); it fails when none fits.
 func (n *Node) AcquireMap() error {
+	bm, br := n.freeBefore()
 	if n.resourceMode {
 		if !fits(n.used, n.mapReq, n.capacity) {
 			return fmt.Errorf("cluster: node %d has no room for a map container", n.ID)
@@ -138,12 +175,14 @@ func (n *Node) AcquireMap() error {
 		n.used.MemMB += n.mapReq.MemMB
 		n.used.VCores += n.mapReq.VCores
 		n.usedMap++
+		n.noteChange(bm, br)
 		return nil
 	}
 	if n.usedMap >= n.MapSlots {
 		return fmt.Errorf("cluster: node %d has no free map slot", n.ID)
 	}
 	n.usedMap++
+	n.noteChange(bm, br)
 	return nil
 }
 
@@ -153,15 +192,18 @@ func (n *Node) ReleaseMap() {
 	if n.usedMap <= 0 {
 		panic(fmt.Sprintf("cluster: node %d released an unheld map slot", n.ID))
 	}
+	bm, br := n.freeBefore()
 	n.usedMap--
 	if n.resourceMode {
 		n.used.MemMB -= n.mapReq.MemMB
 		n.used.VCores -= n.mapReq.VCores
 	}
+	n.noteChange(bm, br)
 }
 
 // AcquireReduce occupies a reduce slot (or container).
 func (n *Node) AcquireReduce() error {
+	bm, br := n.freeBefore()
 	if n.resourceMode {
 		if !fits(n.used, n.reduceReq, n.capacity) {
 			return fmt.Errorf("cluster: node %d has no room for a reduce container", n.ID)
@@ -169,12 +211,14 @@ func (n *Node) AcquireReduce() error {
 		n.used.MemMB += n.reduceReq.MemMB
 		n.used.VCores += n.reduceReq.VCores
 		n.usedReduce++
+		n.noteChange(bm, br)
 		return nil
 	}
 	if n.usedReduce >= n.ReduceSlots {
 		return fmt.Errorf("cluster: node %d has no free reduce slot", n.ID)
 	}
 	n.usedReduce++
+	n.noteChange(bm, br)
 	return nil
 }
 
@@ -183,16 +227,82 @@ func (n *Node) ReleaseReduce() {
 	if n.usedReduce <= 0 {
 		panic(fmt.Sprintf("cluster: node %d released an unheld reduce slot", n.ID))
 	}
+	bm, br := n.freeBefore()
 	n.usedReduce--
 	if n.resourceMode {
 		n.used.MemMB -= n.reduceReq.MemMB
 		n.used.VCores -= n.reduceReq.VCores
 	}
+	n.noteChange(bm, br)
+}
+
+// availState tracks one slot kind's availability set incrementally: a
+// monotonically increasing version (bumped on every membership change, so
+// downstream caches get an O(1) identity check), optional per-class member
+// counts, and a lazily rebuilt ID-ordered snapshot slice.
+type availState struct {
+	version uint64
+	dirty   bool
+	cache   []topology.NodeID
+
+	classes *topology.Classes
+	counts  []int // per-class free-node counts; nil until SetClasses
+}
+
+// flip records that node id entered (free=true) or left the availability
+// set. O(1): the snapshot slice is only rebuilt when next requested.
+func (a *availState) flip(id topology.NodeID, free bool) {
+	a.version++
+	a.dirty = true
+	if a.counts != nil {
+		if free {
+			a.counts[a.classes.Of(id)]++
+		} else {
+			a.counts[a.classes.Of(id)]--
+		}
+	}
+}
+
+// snapshot returns the ID-ordered availability slice, rebuilding it only
+// after membership changed. A fresh slice is allocated per rebuild so
+// snapshots held by earlier scheduler contexts stay immutable.
+func (a *availState) snapshot(nodes []*Node, free func(*Node) bool) []topology.NodeID {
+	if a.cache == nil || a.dirty {
+		out := make([]topology.NodeID, 0, len(nodes))
+		for _, n := range nodes {
+			if free(n) {
+				out = append(out, n.ID)
+			}
+		}
+		a.cache = out
+		a.dirty = false
+	}
+	return a.cache
+}
+
+// setClasses installs (or clears) the class structure and recounts from
+// scratch; membership itself is unchanged but the version bumps so caches
+// that captured counts re-read them.
+func (a *availState) setClasses(c *topology.Classes, nodes []*Node, free func(*Node) bool) {
+	a.classes = c
+	a.counts = nil
+	a.version++
+	if c == nil {
+		return
+	}
+	a.counts = make([]int, c.Num())
+	for _, n := range nodes {
+		if free(n) {
+			a.counts[c.Of(n.ID)]++
+		}
+	}
 }
 
 // State is the slot state of the whole cluster.
 type State struct {
-	nodes []*Node
+	nodes       []*Node
+	availMap    availState
+	availReduce availState
 }
 
 // New creates a cluster of n nodes with uniform slot counts.
@@ -203,9 +313,11 @@ func New(n, mapSlots, reduceSlots int) (*State, error) {
 	if mapSlots < 0 || reduceSlots < 0 {
 		return nil, fmt.Errorf("cluster: negative slot counts")
 	}
-	s := &State{nodes: make([]*Node, n)}
+	// Versions start at 1: consumers use 0 as "no identity known".
+	s := &State{availMap: availState{version: 1}, availReduce: availState{version: 1}}
+	s.nodes = make([]*Node, n)
 	for i := range s.nodes {
-		s.nodes[i] = &Node{ID: topology.NodeID(i), MapSlots: mapSlots, ReduceSlots: reduceSlots}
+		s.nodes[i] = &Node{ID: topology.NodeID(i), MapSlots: mapSlots, ReduceSlots: reduceSlots, st: s}
 	}
 	return s, nil
 }
@@ -216,28 +328,43 @@ func (s *State) Size() int { return len(s.nodes) }
 // Node returns the node with the given ID.
 func (s *State) Node(id topology.NodeID) *Node { return s.nodes[id] }
 
+func freeMap(n *Node) bool    { return n.FreeMapSlots() > 0 }
+func freeReduce(n *Node) bool { return n.FreeReduceSlots() > 0 }
+
+// SetClasses installs the topology's distance-class structure so the
+// availability sets also maintain per-class free-node counts (the O(1)
+// inputs of the class-collapsed Formula 4/5 sums). Pass nil to clear.
+func (s *State) SetClasses(c *topology.Classes) {
+	s.availMap.setClasses(c, s.nodes, freeMap)
+	s.availReduce.setClasses(c, s.nodes, freeReduce)
+}
+
 // AvailMapNodes returns the IDs of nodes with at least one free map slot
-// (the N_m set of Formula 4), in ID order for determinism.
+// (the N_m set of Formula 4), in ID order for determinism. The slice is
+// cached between membership changes; callers must not mutate it.
 func (s *State) AvailMapNodes() []topology.NodeID {
-	var out []topology.NodeID
-	for _, n := range s.nodes {
-		if n.FreeMapSlots() > 0 {
-			out = append(out, n.ID)
-		}
-	}
-	return out
+	return s.availMap.snapshot(s.nodes, freeMap)
 }
 
 // AvailReduceNodes returns the IDs of nodes with at least one free reduce
 // slot (the N_r set of Formula 5).
 func (s *State) AvailReduceNodes() []topology.NodeID {
-	var out []topology.NodeID
-	for _, n := range s.nodes {
-		if n.FreeReduceSlots() > 0 {
-			out = append(out, n.ID)
-		}
-	}
-	return out
+	return s.availReduce.snapshot(s.nodes, freeReduce)
+}
+
+// AvailMap returns the map-slot availability set plus its per-class counts
+// (nil before SetClasses) and identity version. The counts are a copy:
+// flip mutates the live array in place, and snapshots must stay immutable.
+func (s *State) AvailMap() (nodes []topology.NodeID, counts []int, version uint64) {
+	return s.availMap.snapshot(s.nodes, freeMap),
+		append([]int(nil), s.availMap.counts...), s.availMap.version
+}
+
+// AvailReduce returns the reduce-slot availability set plus its per-class
+// counts (nil before SetClasses) and identity version.
+func (s *State) AvailReduce() (nodes []topology.NodeID, counts []int, version uint64) {
+	return s.availReduce.snapshot(s.nodes, freeReduce),
+		append([]int(nil), s.availReduce.counts...), s.availReduce.version
 }
 
 // UsedSlots returns the cluster-wide occupied map and reduce slot counts.

@@ -1,6 +1,12 @@
 package cluster
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+)
 
 func TestNewValidation(t *testing.T) {
 	if _, err := New(0, 4, 2); err == nil {
@@ -196,5 +202,95 @@ func TestResourceModeValidation(t *testing.T) {
 	m, r := s2.TotalSlots()
 	if m != 12 || r != 6 {
 		t.Fatalf("cluster container capacity = %d/%d, want 12/6", m, r)
+	}
+}
+
+// TestAvailCountsTrackChurn drives every availability-affecting mutation
+// and cross-checks the incrementally maintained per-class counts against
+// a from-scratch rescan after each step, plus the version contract: the
+// version changes whenever membership does and holds still otherwise.
+func TestAvailCountsTrackChurn(t *testing.T) {
+	spec := topology.DefaultSpec()
+	spec.Racks = 2
+	spec.NodesPerRack = 4
+	top, err := topology.NewCluster(sim.NewEngine(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := top.Classes()
+	s, err := New(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetClasses(classes)
+
+	check := func(step string) {
+		t.Helper()
+		for pass, get := range map[string]func() ([]topology.NodeID, []int, uint64){
+			"map": s.AvailMap, "reduce": s.AvailReduce,
+		} {
+			nodes, counts, _ := get()
+			want := make([]int, classes.Num())
+			for _, n := range nodes {
+				want[classes.Of(n)]++
+			}
+			if !reflect.DeepEqual(counts, want) {
+				t.Fatalf("%s after %s: incremental counts %v, rescan %v (avail %v)",
+					pass, step, counts, want, nodes)
+			}
+		}
+	}
+	mapVersion := func() uint64 { _, _, v := s.AvailMap(); return v }
+
+	check("init")
+	v0 := mapVersion()
+	if mapVersion() != v0 {
+		t.Fatal("version moved without a mutation")
+	}
+
+	// Fill node 3's map slots: leaves the map set at the second acquire.
+	n3 := s.Node(3)
+	if err := n3.AcquireMap(); err != nil {
+		t.Fatal(err)
+	}
+	check("first acquire")
+	if err := n3.AcquireMap(); err != nil {
+		t.Fatal(err)
+	}
+	check("second acquire")
+	if mapVersion() == v0 {
+		t.Fatal("version unchanged though node 3 left the map set")
+	}
+
+	// Offline, blacklist, resource-mode, and release churn across both
+	// racks.
+	s.Node(5).SetOffline(true)
+	check("offline 5")
+	s.Node(0).SetBlacklisted(true)
+	check("blacklist 0")
+	if err := s.Node(6).EnableResources(Resources{VCores: 4, MemMB: 8192},
+		Resources{VCores: 1, MemMB: 2048}, Resources{VCores: 1, MemMB: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	check("resource mode 6")
+	n3.ReleaseMap()
+	check("release")
+	s.Node(5).SetOffline(false)
+	check("online 5")
+	s.Node(0).SetBlacklisted(false)
+	check("unblacklist 0")
+
+	// Reduce-side churn too.
+	if err := s.Node(7).AcquireReduce(); err != nil {
+		t.Fatal(err)
+	}
+	check("acquire reduce 7")
+	s.Node(7).ReleaseReduce()
+	check("release reduce 7")
+
+	// Clearing the classes drops the counts entirely.
+	s.SetClasses(nil)
+	if _, counts, _ := s.AvailMap(); counts != nil {
+		t.Fatalf("counts %v after clearing classes, want nil", counts)
 	}
 }

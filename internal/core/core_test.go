@@ -264,33 +264,39 @@ func TestSelectMapTaskPrefersLocal(t *testing.T) {
 	cm, j := fig2Setup(t)
 	avail := []topology.NodeID{0, 1, 2, 3}
 	// On D1 (node 0): M1's block is local (P = 1), M2's is 10 hops away.
-	best, ok := SelectMapTask(cm, j.Maps, 0, avail)
+	sel, ok := SelectMapTask(cm, nil, j.Maps, 0, NewAvail(avail))
 	if !ok {
 		t.Fatal("no candidate selected")
 	}
-	if best.MapTask != j.Maps[0] {
-		t.Fatalf("selected M%d, want M1 (local data)", best.MapTask.Index+1)
+	if sel.Best.MapTask != j.Maps[0] {
+		t.Fatalf("selected M%d, want M1 (local data)", sel.Best.MapTask.Index+1)
 	}
-	if best.Prob != 1 || best.Cost != 0 {
-		t.Fatalf("local selection P=%v C=%v, want P=1 C=0", best.Prob, best.Cost)
+	if sel.Best.Prob != 1 || sel.Best.Cost != 0 {
+		t.Fatalf("local selection P=%v C=%v, want P=1 C=0", sel.Best.Prob, sel.Best.Cost)
+	}
+	if !sel.HasLocal() || sel.Local.MapTask != j.Maps[0] {
+		t.Fatalf("local candidate not tracked: %+v", sel.Local)
 	}
 	// On D4 (node 3): neither block local; M2 (10 hops from D1... D2→D4 is
 	// 4) is nearer than M1 (D1→D4 is 6): M2 wins.
-	best, ok = SelectMapTask(cm, j.Maps, 3, avail)
+	sel, ok = SelectMapTask(cm, nil, j.Maps, 3, NewAvail(avail))
 	if !ok {
 		t.Fatal("no candidate selected on D4")
 	}
-	if best.MapTask != j.Maps[1] {
-		t.Fatalf("selected M%d on D4, want M2", best.MapTask.Index+1)
+	if sel.Best.MapTask != j.Maps[1] {
+		t.Fatalf("selected M%d on D4, want M2", sel.Best.MapTask.Index+1)
 	}
-	if best.Prob <= 0 || best.Prob >= 1 {
-		t.Fatalf("remote selection P=%v, want in (0,1)", best.Prob)
+	if sel.Best.Prob <= 0 || sel.Best.Prob >= 1 {
+		t.Fatalf("remote selection P=%v, want in (0,1)", sel.Best.Prob)
+	}
+	if sel.HasLocal() {
+		t.Fatalf("no data-local candidate exists on D4, got %+v", sel.Local)
 	}
 }
 
 func TestSelectMapTaskEmpty(t *testing.T) {
 	cm, _ := fig2Setup(t)
-	if _, ok := SelectMapTask(cm, nil, 0, []topology.NodeID{0}); ok {
+	if _, ok := SelectMapTask(cm, nil, nil, 0, NewAvail([]topology.NodeID{0})); ok {
 		t.Fatal("selection from empty candidate list succeeded")
 	}
 }
@@ -305,12 +311,12 @@ func TestSelectReduceTask(t *testing.T) {
 	avail := []topology.NodeID{0, 1, 2, 3}
 	// On D2 (node 1, where the heavy mapper M2 ran) both reduces are
 	// cheap; the selection must return the one with the higher P.
-	best, ok := SelectReduceTask(rc, j.Reduces, 1, avail)
+	best, ok := SelectReduceTask(rc, nil, j.Reduces, 1, NewAvail(avail))
 	if !ok {
 		t.Fatal("no reduce selected")
 	}
 	other := j.Reduces[1-best.ReduceTask.Index]
-	pOther := AssignProb(rc.CostAvg(other.Index, avail), rc.Cost(1, other.Index))
+	pOther := AssignProb(rc.CostAvg(other.Index, NewAvail(avail)), rc.Cost(1, other.Index))
 	if best.Prob < pOther {
 		t.Fatalf("selected P=%v but other candidate has P=%v", best.Prob, pOther)
 	}
@@ -319,7 +325,7 @@ func TestSelectReduceTask(t *testing.T) {
 func TestSelectReduceBeforeAnyMapLaunched(t *testing.T) {
 	cm, j := fig2Setup(t)
 	rc := cm.NewReduceCoster(j, ProgressScaled{})
-	best, ok := SelectReduceTask(rc, j.Reduces, 0, []topology.NodeID{0, 1})
+	best, ok := SelectReduceTask(rc, nil, j.Reduces, 0, NewAvail([]topology.NodeID{0, 1}))
 	if !ok {
 		t.Fatal("no reduce selected with zero information")
 	}
@@ -454,5 +460,107 @@ func TestMapCostPropertyMonotoneInSize(t *testing.T) {
 		if cm.MapCost(&small, n) > cm.MapCost(m, n) {
 			t.Fatalf("halving block size increased cost on node %d", i)
 		}
+	}
+}
+
+// TestSelectReduceSkipsUnreachablePlacements pins the math.IsInf skip of
+// Algorithm 2's scan: after a link sever an unreachable placement's
+// −Inf saving must neither become a job's "best" nor mask reachable
+// candidates, and a task with no reachable placement at all yields
+// ok = false rather than a P = 0 assignment.
+func TestSelectReduceSkipsUnreachablePlacements(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := topology.DefaultSpec()
+	spec.Racks = 1
+	spec.NodesPerRack = 4
+	net, err := topology.NewCluster(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := hdfs.NewStore(net, sim.NewRNG(1))
+	b1, err := store.AddBlock(128, 1, fixedPolicy{nodes: []topology.NodeID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := store.AddBlock(128, 1, fixedPolicy{nodes: []topology.NodeID{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &job.Job{ID: 1, Spec: job.Spec{Name: "sever", Profile: job.Profile{
+		Name: "sever", MapSelectivity: 1, MapRate: 1e6, ReduceRate: 1e6,
+	}}}
+	// R1 is fed only by the map on node 1, R2 only by the map on node 2.
+	j.Maps = []*job.MapTask{
+		{Job: j, Index: 0, Block: b1, Size: 128, Out: []float64{10, 0}, OutputCurve: 1,
+			Node: 1, State: job.TaskDone, Progress: 1},
+		{Job: j, Index: 1, Block: b2, Size: 128, Out: []float64{0, 10}, OutputCurve: 1,
+			Node: 2, State: job.TaskDone, Progress: 1},
+	}
+	j.Reduces = []*job.ReduceTask{
+		{Job: j, Index: 0, Node: -1},
+		{Job: j, Index: 1, Node: -1},
+	}
+	cm, err := NewCostModel(net, store, net, ModeNetworkCondition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetHostLinkFactor(2, 0) // sever R2's only source
+	rc := cm.NewReduceCoster(j, Oracle{})
+
+	avail := NewAvail([]topology.NodeID{0, 1, 3})
+	if c := rc.Cost(0, 1); !math.IsInf(c, 1) {
+		t.Fatalf("R2 on node 0 costs %v across a severed link, want +Inf", c)
+	}
+	best, ok := SelectReduceTask(rc, nil, j.Reduces, 0, avail)
+	if !ok {
+		t.Fatal("reachable candidate R1 not selected")
+	}
+	if best.ReduceTask.Index != 0 {
+		t.Fatalf("selected R%d, want R1 (R2 is unreachable)", best.ReduceTask.Index+1)
+	}
+	if math.IsInf(best.Cost, 1) {
+		t.Fatal("selected placement has infinite cost")
+	}
+	if _, ok := SelectReduceTask(rc, nil, j.Reduces[1:], 0, avail); ok {
+		t.Fatal("task with no reachable placement selected anyway")
+	}
+}
+
+// fixedProb is a test model returning a recognizable constant for any
+// non-local placement.
+type fixedProb struct{}
+
+func (fixedProb) Name() string { return "fixed" }
+func (fixedProb) Prob(avg, cost float64) float64 {
+	if cost <= 0 {
+		return 1
+	}
+	return 0.123
+}
+
+// TestSelectionProbComesFromModel pins the single source of truth for
+// Choice.Prob: selection computes it with the configured model, so a
+// non-default model's probability — not Formula 4's — reaches the gate.
+func TestSelectionProbComesFromModel(t *testing.T) {
+	cm, j := fig2Setup(t)
+	avail := NewAvail([]topology.NodeID{0, 1, 2, 3})
+	sel, ok := SelectMapTask(cm, fixedProb{}, j.Maps, 3, avail) // remote-only node
+	if !ok {
+		t.Fatal("no candidate")
+	}
+	if sel.Best.Prob != 0.123 {
+		t.Fatalf("map Choice.Prob = %v, want the model's 0.123", sel.Best.Prob)
+	}
+	j.Maps[0].State = job.TaskDone
+	j.Maps[0].Node = 2
+	j.Maps[1].State = job.TaskDone
+	j.Maps[1].Node = 1
+	rc := cm.NewReduceCoster(j, Oracle{})
+	best, ok := SelectReduceTask(rc, fixedProb{}, j.Reduces, 0, avail)
+	if !ok {
+		t.Fatal("no reduce candidate")
+	}
+	if best.Prob != 0.123 {
+		t.Fatalf("reduce Choice.Prob = %v, want the model's 0.123", best.Prob)
 	}
 }

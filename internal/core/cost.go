@@ -47,6 +47,18 @@ type CostModel struct {
 	store *hdfs.Store
 	rate  topology.RateObserver // required for ModeNetworkCondition
 	mode  Mode
+
+	// classes is the distance-class view of the network in hop mode (nil
+	// otherwise, and nil when the network has no class structure): hop
+	// distances depend only on the (class(a), class(b)) pair, so sums over
+	// the avail set collapse to per-class terms. Network-condition mode
+	// keeps per-pair dynamic distances and never collapses.
+	classes *topology.Classes
+
+	// Scratch buffers for the class-collapsed sums, sized to classes.Num().
+	clCounts []int     // per-class avail counts when the caller has none
+	clReps   []int     // per-class replicas-in-avail counts
+	clMinD   []float64 // per-class nearest-replica distance (uncached path)
 }
 
 // NewCostModel builds a cost model. rate may be nil when mode is ModeHops.
@@ -57,11 +69,26 @@ func NewCostModel(net topology.Network, store *hdfs.Store, rate topology.RateObs
 	if mode == ModeNetworkCondition && rate == nil {
 		return nil, fmt.Errorf("core: network-condition mode requires a rate observer")
 	}
-	return &CostModel{net: net, store: store, rate: rate, mode: mode}, nil
+	c := &CostModel{net: net, store: store, rate: rate, mode: mode}
+	if mode == ModeHops {
+		if cn, ok := net.(topology.ClassedNetwork); ok {
+			if cl := cn.Classes(); cl != nil {
+				c.classes = cl
+				c.clCounts = make([]int, cl.Num())
+				c.clReps = make([]int, cl.Num())
+				c.clMinD = make([]float64, cl.Num())
+			}
+		}
+	}
+	return c, nil
 }
 
 // Mode returns the distance interpretation in use.
 func (c *CostModel) Mode() Mode { return c.mode }
+
+// Classes returns the distance-class structure the model collapses sums
+// over, or nil when costs are evaluated per node.
+func (c *CostModel) Classes() *topology.Classes { return c.classes }
 
 // Distance returns the effective H entry for the pair (a, b): hop count in
 // ModeHops, or 1/rate in ModeNetworkCondition. The diagonal of H is 0 in
@@ -127,16 +154,102 @@ func (c *CostModel) MapCost(m *job.MapTask, i topology.NodeID) float64 {
 }
 
 // MapCostAvg returns C_avg = Σ_k C_m(k,j) / N_m over the nodes that
-// currently have free map slots (Algorithm 1 line 6).
+// currently have free map slots (Algorithm 1 line 6). With a class
+// structure the per-node sum collapses to Σ_c n'_c · minD_c where n'_c
+// counts the class's free non-replica nodes (replica members cost 0) and
+// minD_c is the class's nearest-replica distance; the MapCoster computes
+// the identical expression, so the two stay bit-exact.
 func (c *CostModel) MapCostAvg(m *job.MapTask, avail []topology.NodeID) float64 {
 	if len(avail) == 0 {
 		return 0
+	}
+	if c.classes != nil {
+		replicas := c.store.Replicas(m.Block)
+		c.classMinD(replicas, c.clMinD)
+		return m.Size * c.classMapSum(replicas, avail, c.scanClassCounts(avail), c.clMinD) / float64(len(avail))
 	}
 	var sum float64
 	for _, k := range avail {
 		sum += c.MapCost(m, k)
 	}
 	return sum / float64(len(avail))
+}
+
+// scanClassCounts fills the scratch per-class counts by scanning avail —
+// the reference path; the engine maintains the same counts incrementally.
+func (c *CostModel) scanClassCounts(avail []topology.NodeID) []int {
+	counts := c.clCounts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, k := range avail {
+		counts[c.classes.Of(k)]++
+	}
+	return counts
+}
+
+// classMinD fills minD[ci] with the class's nearest-replica distance
+// min_{l: L_lj=1} D(ci, class(l)) — the class-collapsed form of Formula
+// 1's inner minimum (all-Inf when the block has no replicas).
+func (c *CostModel) classMinD(replicas []topology.NodeID, minD []float64) {
+	cl := c.classes
+	for ci := range minD {
+		best := math.Inf(1)
+		for _, l := range replicas {
+			if d := cl.D(ci, cl.Of(l)); d < best {
+				best = d
+			}
+		}
+		minD[ci] = best
+	}
+}
+
+// classMapSum returns Σ_c n'_c · minD_c with n'_c = free nodes of class c
+// minus the block's replicas among them (a replica node reads locally at
+// distance 0, and skipping n' <= 0 keeps a singleton class's +Inf intra
+// distance away from a zero multiplier). Both MapCostAvg and the
+// MapCoster funnel through this function so their float operation order —
+// and hence every selection decision — is identical.
+func (c *CostModel) classMapSum(replicas, avail []topology.NodeID, counts []int, minD []float64) float64 {
+	reps := c.clReps
+	for _, l := range replicas {
+		if containsNode(avail, l) {
+			reps[c.classes.Of(l)]++
+		}
+	}
+	var sum float64
+	for ci, n := range counts {
+		if n -= reps[ci]; n > 0 {
+			sum += float64(n) * minD[ci]
+		}
+	}
+	for _, l := range replicas {
+		reps[c.classes.Of(l)] = 0
+	}
+	return sum
+}
+
+// classHSum returns Σ_{k in avail} h(p, k) collapsed to per-class terms:
+// each class contributes count·D(class(p), class(k)), with p itself
+// excluded from its own class (h(p,p) = 0). Skipping zero counts keeps a
+// singleton class's +Inf intra distance out of the sum.
+func (c *CostModel) classHSum(p topology.NodeID, counts []int, avail []topology.NodeID) float64 {
+	cl := c.classes
+	cp := cl.Of(p)
+	self := 0
+	if containsNode(avail, p) {
+		self = 1
+	}
+	var sum float64
+	for ci, n := range counts {
+		if ci == cp {
+			n -= self
+		}
+		if n > 0 {
+			sum += float64(n) * cl.D(cp, ci)
+		}
+	}
+	return sum
 }
 
 // Locality classifies a map placement for the Table III metrics: on a
@@ -182,10 +295,14 @@ type ReduceCoster struct {
 	// CostAvg cache: hSum[pi] = Σ_{k in avail} h(p_i, k) for the avail set
 	// last seen, so the average over candidate nodes is O(#map-nodes) per
 	// partition instead of O(#avail × #map-nodes). availEpoch records the
-	// distance epoch the sums were computed at.
-	availCache []topology.NodeID
-	availEpoch uint64
-	hSum       []float64
+	// distance epoch the sums were computed at; availVersion the identity
+	// of the avail snapshot (an O(1) stand-in for comparing the node list);
+	// hValid is cleared whenever the map-node set changes structurally.
+	availCache   []topology.NodeID
+	availEpoch   uint64
+	availVersion uint64
+	hValid       bool
+	hSum         []float64
 }
 
 // NewReduceCoster snapshots the launched maps of j under the estimator.
@@ -237,7 +354,7 @@ func (rc *ReduceCoster) rebuild() {
 		rc.s[pi] = make([]float64, nf)
 		rc.computeRow(pi)
 	}
-	rc.availCache = nil
+	rc.hValid = false
 }
 
 // byNode sorts the node list and the parallel member lists together.
@@ -339,7 +456,7 @@ func (rc *ReduceCoster) Refresh() {
 		}
 	}
 	if structural {
-		rc.availCache = nil // node set changed: hSum rows are stale
+		rc.hValid = false // node set changed: hSum rows are stale
 	}
 }
 
@@ -411,28 +528,45 @@ func (rc *ReduceCoster) Cost(i topology.NodeID, f int) float64 {
 // slots (Algorithm 2 line 7). Summation is reordered as
 // Σ_p S_pf · (Σ_k h_pk), with the inner distance sums cached per
 // (avail set, distance epoch); the result is identical to averaging Cost
-// over avail. When distances are volatile with no epoch signal the sums
-// are recomputed on every call.
-func (rc *ReduceCoster) CostAvg(f int, avail []topology.NodeID) float64 {
+// over avail. A matching non-zero a.Version revalidates the cache in
+// O(1); the node-list comparison is the fallback for ad-hoc snapshots.
+// With a class structure each inner sum is the O(classes) classHSum; when
+// distances are volatile with no epoch signal the sums are recomputed on
+// every call.
+func (rc *ReduceCoster) CostAvg(f int, a Avail) float64 {
+	avail := a.Nodes
 	if len(avail) == 0 {
 		return 0
 	}
 	ep, epOK := rc.cm.DistanceEpoch()
-	if !epOK || ep != rc.availEpoch || len(rc.hSum) != len(rc.nodes) || !equalNodes(rc.availCache, avail) {
+	sameAvail := (a.Version != 0 && a.Version == rc.availVersion) || equalNodes(rc.availCache, avail)
+	if !epOK || ep != rc.availEpoch || !rc.hValid || !sameAvail {
 		rc.availEpoch = ep
 		rc.availCache = append(rc.availCache[:0], avail...)
 		if cap(rc.hSum) < len(rc.nodes) {
 			rc.hSum = make([]float64, len(rc.nodes))
 		}
 		rc.hSum = rc.hSum[:len(rc.nodes)]
-		for pi, p := range rc.nodes {
-			var h float64
-			for _, k := range avail {
-				h += rc.cm.Distance(p, k)
+		if rc.cm.classes != nil {
+			counts := a.Counts
+			if counts == nil {
+				counts = rc.cm.scanClassCounts(avail)
 			}
-			rc.hSum[pi] = h
+			for pi, p := range rc.nodes {
+				rc.hSum[pi] = rc.cm.classHSum(p, counts, avail)
+			}
+		} else {
+			for pi, p := range rc.nodes {
+				var h float64
+				for _, k := range avail {
+					h += rc.cm.Distance(p, k)
+				}
+				rc.hSum[pi] = h
+			}
 		}
+		rc.hValid = true
 	}
+	rc.availVersion = a.Version
 	var sum float64
 	for pi := range rc.nodes {
 		if v := rc.s[pi][f]; v > 0 {

@@ -118,7 +118,7 @@ func requireCostersEqual(t *testing.T, round int, got, want *ReduceCoster, nodes
 		if a, b := got.TotalEstimated(f), want.TotalEstimated(f); a != b {
 			t.Fatalf("round %d: TotalEstimated(%d) = %v, fresh build says %v", round, f, a, b)
 		}
-		avail := randomAvail(rng, nodes)
+		avail := NewAvail(randomAvail(rng, nodes))
 		if a, b := got.CostAvg(f, avail), want.CostAvg(f, avail); a != b {
 			t.Fatalf("round %d: CostAvg(%d) = %v, fresh build says %v", round, f, a, b)
 		}
@@ -187,7 +187,7 @@ func TestReduceCosterAvgTracksNetworkEpoch(t *testing.T) {
 		return sum / float64(len(avail))
 	}
 	const f = 0
-	if got, want := rc.CostAvg(f, avail), naive(f); math.Abs(got-want) > 1e-9*math.Abs(want) {
+	if got, want := rc.CostAvg(f, NewAvail(avail)), naive(f); math.Abs(got-want) > 1e-9*math.Abs(want) {
 		t.Fatalf("CostAvg = %v, want %v", got, want)
 	}
 	// Congest the network: path rates, hence distances, change.
@@ -201,7 +201,7 @@ func TestReduceCosterAvgTracksNetworkEpoch(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		eng.Step()
 	}
-	if got, want := rc.CostAvg(f, avail), naive(f); math.Abs(got-want) > 1e-9*math.Abs(want) {
+	if got, want := rc.CostAvg(f, NewAvail(avail)), naive(f); math.Abs(got-want) > 1e-9*math.Abs(want) {
 		t.Fatalf("after churn: CostAvg = %v, want %v (stale cache?)", got, want)
 	}
 }
@@ -257,7 +257,7 @@ func TestMapCosterMatchesNaive(t *testing.T) {
 					if got, want := mc.Cost(m, n), cm.MapCost(m, n); got != want {
 						t.Fatalf("round %d: Cost(m%d,%d) = %v, naive %v", round, m.Index, n, got, want)
 					}
-					if got, want := mc.CostAvg(m, avail), cm.MapCostAvg(m, avail); got != want {
+					if got, want := mc.CostAvg(m, NewAvail(avail)), cm.MapCostAvg(m, avail); got != want {
 						t.Fatalf("round %d: CostAvg(m%d) = %v, naive %v", round, m.Index, got, want)
 					}
 				}
@@ -281,18 +281,21 @@ func TestSelectMapTaskWithMatchesDirect(t *testing.T) {
 	mc := cm.NewMapCoster()
 	rng := sim.NewRNG(18)
 	for round := 0; round < 20; round++ {
-		avail := randomAvail(rng, cl.Size())
+		avail := NewAvail(randomAvail(rng, cl.Size()))
 		node := topology.NodeID(rng.Intn(cl.Size()))
-		a, okA := SelectMapTask(cm, j.Maps, node, avail)
-		b, okB := SelectMapTaskWith(mc, j.Maps, node, avail)
+		a, okA := SelectMapTask(cm, nil, j.Maps, node, avail)
+		b, okB := SelectMapTaskWith(mc, nil, j.Maps, node, avail)
 		if okA != okB {
 			t.Fatalf("round %d: ok %v vs %v", round, okA, okB)
 		}
 		if !okA {
 			continue
 		}
-		if a.MapTask != b.MapTask || a.Cost != b.Cost || a.AvgCost != b.AvgCost || a.Prob != b.Prob {
-			t.Fatalf("round %d: choice differs: %+v vs %+v", round, a, b)
+		if a.Best != b.Best {
+			t.Fatalf("round %d: best differs: %+v vs %+v", round, a.Best, b.Best)
+		}
+		if a.Local != b.Local {
+			t.Fatalf("round %d: local differs: %+v vs %+v", round, a.Local, b.Local)
 		}
 	}
 }

@@ -44,7 +44,7 @@ func CostCeiling(pmin float64) float64 {
 type Choice struct {
 	MapTask    *job.MapTask    // set for map selection
 	ReduceTask *job.ReduceTask // set for reduce selection
-	Prob       float64         // P_mj or P_rf
+	Prob       float64         // P_mj or P_rf under the configured model
 	Cost       float64         // C on the offered node
 	AvgCost    float64         // C_avg over available nodes
 }
@@ -58,14 +58,46 @@ type Choice struct {
 // instead of straggling at the tail.
 func (c Choice) Saving() float64 { return c.AvgCost - c.Cost }
 
+// MapSelection is the result of scanning one job's pending maps for a
+// slot offer: the maximum-saving candidate overall, plus the
+// maximum-saving candidate among the zero-cost (data-local) ones. The two
+// differ whenever a large remote task out-saves a small local one
+// (C_avg − C ranks by absolute bytes moved); Algorithm 1's P = 1 rule
+// still applies to the local candidate, so the scheduler falls back to it
+// when Best is gated away.
+type MapSelection struct {
+	Best  Choice
+	Local Choice
+}
+
+// HasLocal reports whether a zero-cost candidate was found.
+func (s MapSelection) HasLocal() bool { return s.Local.MapTask != nil }
+
 // MapCostEvaluator abstracts Formula 1 so Algorithm 1 can run against
 // either the direct CostModel computation or a MapCoster cache. The two
 // implementations produce bit-identical costs, so selection decisions do
 // not depend on which one is plugged in.
 type MapCostEvaluator interface {
 	Cost(m *job.MapTask, i topology.NodeID) float64
-	CostAvg(m *job.MapTask, avail []topology.NodeID) float64
+	CostAvg(m *job.MapTask, avail Avail) float64
 }
+
+// SelectOptimizer is implemented by evaluators that can prune the
+// candidate scan: SavingBound caps the saving any placement of a task can
+// reach, SizeOrder yields candidate indices with bounds non-increasing,
+// and ZeroCost identifies data-local placements without evaluating costs.
+// Pruning never changes the selected candidates — the bound-ordered scan
+// stops only once no remaining task can beat (or tie) the incumbent.
+type SelectOptimizer interface {
+	Prunable() bool
+	SavingBound(m *job.MapTask) float64
+	SizeOrder(tasks []*job.MapTask) []int
+	ZeroCost(m *job.MapTask, i topology.NodeID) bool
+}
+
+// pruneMinTasks is the scan length below which the bound-ordered scan is
+// not worth its sorting overhead.
+const pruneMinTasks = 16
 
 // directMapCost is the uncached reference evaluator.
 type directMapCost struct{ cm *CostModel }
@@ -74,8 +106,8 @@ func (d directMapCost) Cost(m *job.MapTask, i topology.NodeID) float64 {
 	return d.cm.MapCost(m, i)
 }
 
-func (d directMapCost) CostAvg(m *job.MapTask, avail []topology.NodeID) float64 {
-	return d.cm.MapCostAvg(m, avail)
+func (d directMapCost) CostAvg(m *job.MapTask, avail Avail) float64 {
+	return d.cm.MapCostAvg(m, avail.Nodes)
 }
 
 // Evaluator returns the uncached MapCostEvaluator view of the model.
@@ -83,43 +115,99 @@ func (c *CostModel) Evaluator() MapCostEvaluator { return directMapCost{c} }
 
 // SelectMapTask runs lines 2–9 of Algorithm 1 against the uncached cost
 // model; see SelectMapTaskWith.
-func SelectMapTask(cm *CostModel, tasks []*job.MapTask, i topology.NodeID, avail []topology.NodeID) (best Choice, ok bool) {
-	return SelectMapTaskWith(directMapCost{cm}, tasks, i, avail)
+func SelectMapTask(cm *CostModel, model ProbabilityModel, tasks []*job.MapTask, i topology.NodeID, avail Avail) (MapSelection, bool) {
+	return SelectMapTaskWith(directMapCost{cm}, model, tasks, i, avail)
 }
 
 // SelectMapTaskWith runs lines 2–9 of Algorithm 1: for every candidate map
 // task it computes the placement cost on node i (Formula 1), the average
-// cost over nodes with free map slots, and the probability (Formula 4),
-// returning the candidate with the largest transmission-cost saving
-// (Section II-C's selection criterion; data-local candidates always rank
-// first since their saving equals the full average cost). ok is false
-// when tasks is empty or no candidate is schedulable.
-func SelectMapTaskWith(ev MapCostEvaluator, tasks []*job.MapTask, i topology.NodeID, avail []topology.NodeID) (best Choice, ok bool) {
-	for _, m := range tasks {
+// cost over nodes with free map slots, and the probability under the
+// configured model (Formula 4 when model is nil), returning the candidate
+// with the largest transmission-cost saving plus the best data-local
+// candidate (which Best need not subsume: a large remote task can
+// out-save a small local one). Ties on saving go to the earlier task, for
+// determinism. ok is false when tasks is empty or no candidate is
+// schedulable.
+//
+// When the evaluator is a SelectOptimizer, candidates are scanned in
+// non-increasing SavingBound order and the scan stops at the first bound
+// strictly below the incumbent's saving — no pruned task can beat or tie
+// Best. The pruned tail is swept once more for zero-cost placements only
+// (their savings sit below the cut too, so Best is final, but the
+// data-local rule needs them): decisions are bit-identical to the full
+// scan.
+func SelectMapTaskWith(ev MapCostEvaluator, model ProbabilityModel, tasks []*job.MapTask, i topology.NodeID, avail Avail) (MapSelection, bool) {
+	if model == nil {
+		model = Exponential{}
+	}
+	var sel MapSelection
+	ok := false
+	bestPos, localPos := -1, -1
+	consider := func(pos int, m *job.MapTask) {
 		cost := ev.Cost(m, i)
 		if math.IsInf(cost, 1) {
-			continue
+			return
 		}
 		avg := ev.CostAvg(m, avail)
-		c := Choice{MapTask: m, Prob: AssignProb(avg, cost), Cost: cost, AvgCost: avg}
-		if !ok || c.Saving() > best.Saving() {
-			best = c
-			ok = true
+		c := Choice{MapTask: m, Prob: model.Prob(avg, cost), Cost: cost, AvgCost: avg}
+		s := c.Saving()
+		if bestPos < 0 || s > sel.Best.Saving() || (s == sel.Best.Saving() && pos < bestPos) {
+			sel.Best, bestPos, ok = c, pos, true
+		}
+		if cost == 0 {
+			if localPos < 0 || s > sel.Local.Saving() || (s == sel.Local.Saving() && pos < localPos) {
+				sel.Local, localPos = c, pos
+			}
 		}
 	}
-	return best, ok
+	so, prune := ev.(SelectOptimizer)
+	if prune {
+		prune = so.Prunable() && len(tasks) > pruneMinTasks
+	}
+	if !prune {
+		for pos, m := range tasks {
+			consider(pos, m)
+		}
+		return sel, ok
+	}
+	order := so.SizeOrder(tasks)
+	cut := len(order)
+	for oi, pos := range order {
+		m := tasks[pos]
+		if ok && so.SavingBound(m) < sel.Best.Saving() {
+			cut = oi
+			break
+		}
+		consider(pos, m)
+	}
+	for _, pos := range order[cut:] {
+		if m := tasks[pos]; so.ZeroCost(m, i) {
+			consider(pos, m)
+		}
+	}
+	return sel, ok
 }
 
 // SelectReduceTask runs lines 2–10 of Algorithm 2: for every candidate
 // reduce task it computes the shuffle cost on node i (Formula 3 with the
 // estimator's Î_jf), the average over nodes with free reduce slots, and
-// the probability (Formula 5), returning the candidate with the largest
-// transmission-cost saving. ok is false when tasks is empty.
-func SelectReduceTask(rc *ReduceCoster, tasks []*job.ReduceTask, i topology.NodeID, avail []topology.NodeID) (best Choice, ok bool) {
+// the probability under the configured model (Formula 5 when model is
+// nil), returning the candidate with the largest transmission-cost
+// saving. Unreachable placements (infinite cost, e.g. after a link sever)
+// are skipped, exactly as in map selection — a −Inf saving must not
+// become a job's "best" and mask schedulable candidates. ok is false when
+// tasks is empty or every placement is unreachable.
+func SelectReduceTask(rc *ReduceCoster, model ProbabilityModel, tasks []*job.ReduceTask, i topology.NodeID, avail Avail) (best Choice, ok bool) {
+	if model == nil {
+		model = Exponential{}
+	}
 	for _, r := range tasks {
 		cost := rc.Cost(i, r.Index)
+		if math.IsInf(cost, 1) {
+			continue
+		}
 		avg := rc.CostAvg(r.Index, avail)
-		c := Choice{ReduceTask: r, Prob: AssignProb(avg, cost), Cost: cost, AvgCost: avg}
+		c := Choice{ReduceTask: r, Prob: model.Prob(avg, cost), Cost: cost, AvgCost: avg}
 		if !ok || c.Saving() > best.Saving() {
 			best = c
 			ok = true

@@ -399,6 +399,10 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 	if err != nil {
 		return nil, err
 	}
+	// Hop-mode costs collapse into distance classes (racks); let the
+	// cluster state maintain per-class free-slot counts incrementally so
+	// the schedulers' C_avg sums are O(classes) per offer.
+	state.SetClasses(cost.Classes())
 	s := &Simulation{
 		cfg:         cfg,
 		eng:         eng,
@@ -607,12 +611,14 @@ func (s *Simulation) heartbeat(n topology.NodeID) {
 
 // buildCtx snapshots the scheduler-visible cluster state.
 func (s *Simulation) buildCtx() *sched.Context {
+	am, amCounts, amVer := s.state.AvailMap()
+	ar, arCounts, arVer := s.state.AvailReduce()
 	return &sched.Context{
-		Now:              s.eng.Now(),
-		Jobs:             s.active,
-		AvailMapNodes:    s.state.AvailMapNodes(),
-		AvailReduceNodes: s.state.AvailReduceNodes(),
-		Slowstart:        s.cfg.Slowstart,
+		Now:         s.eng.Now(),
+		Jobs:        s.active,
+		AvailMap:    core.Avail{Nodes: am, Counts: amCounts, Version: amVer},
+		AvailReduce: core.Avail{Nodes: ar, Counts: arCounts, Version: arVer},
+		Slowstart:   s.cfg.Slowstart,
 	}
 }
 

@@ -153,7 +153,7 @@ func (c *Coupling) AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceT
 				best = r
 			}
 		}
-		central, ok := rc.Centrality(best.Index, ctx.AvailReduceNodes)
+		central, ok := rc.Centrality(best.Index, ctx.AvailReduce.Nodes)
 		if !ok {
 			continue
 		}

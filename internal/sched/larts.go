@@ -91,7 +91,7 @@ func (l *LARTS) AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceTask
 			return best
 		}
 		// Accept when the node is (near-)optimal for this reduce.
-		central, ok := rc.Centrality(best.Index, ctx.AvailReduceNodes)
+		central, ok := rc.Centrality(best.Index, ctx.AvailReduce.Nodes)
 		if ok && central == node {
 			delete(l.waits, best)
 			return best

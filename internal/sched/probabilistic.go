@@ -64,6 +64,13 @@ type Probabilistic struct {
 	// grow past the set of live jobs.
 	costerCache map[job.ID]costerEntry
 
+	// sweptLen / sweptTail identify the job set the last sweep ran
+	// against: the live list only ever appends strictly increasing job
+	// IDs, so an unchanged (length, last ID) pair means the set itself is
+	// unchanged and the sweep can be skipped.
+	sweptLen  int
+	sweptTail job.ID
+
 	// mapCost evaluates Formula 1: a shared MapCoster on the cached path,
 	// the direct cost model when cfg.Naive is set.
 	mapCost core.MapCostEvaluator
@@ -102,11 +109,21 @@ func (p *Probabilistic) coster(j *job.Job, now sim.Time) *core.ReduceCoster {
 // sweep evicts cached state of jobs that left the live set (finished or
 // removed), fixing the per-completed-job leak of both the reduce-coster
 // cache and the map-cost rows. Evicted jobs are never offered slots
-// again, so eviction cannot change a scheduling decision.
+// again, so eviction cannot change a scheduling decision. It runs on
+// every job-set change — detected by the (length, tail ID) signature of
+// the append-ordered live list, whose IDs strictly increase — rather than
+// only when the cache outgrows the live set: under balanced churn (one
+// job finishing as another arrives) the sizes stay equal while dead
+// entries pile up.
 func (p *Probabilistic) sweep(ctx *Context) {
-	if len(p.costerCache) <= len(ctx.Jobs) {
+	tail := job.ID(-1)
+	if n := len(ctx.Jobs); n > 0 {
+		tail = ctx.Jobs[n-1].ID
+	}
+	if len(ctx.Jobs) == p.sweptLen && tail == p.sweptTail && len(p.costerCache) <= len(ctx.Jobs) {
 		return
 	}
+	p.sweptLen, p.sweptTail = len(ctx.Jobs), tail
 	live := make(map[job.ID]struct{}, len(ctx.Jobs))
 	for _, j := range ctx.Jobs {
 		live[j.ID] = struct{}{}
@@ -156,20 +173,25 @@ func (p *Probabilistic) Name() string {
 }
 
 // AssignMap implements Algorithm 1 on the offered node. Candidate tasks
-// come from the fair-ordered job queue: a data-local candidate (P = 1)
-// from the fairest job wins immediately; otherwise the highest-probability
-// candidate across jobs faces the P_min threshold and the Bernoulli draw.
-// Scanning past the head job mirrors how Hadoop's job-level scheduler
-// iterates jobs when the head job has nothing attractive for a node.
+// come from the fair-ordered job queue: a data-local best candidate
+// (P = 1) from the fairest job wins immediately; otherwise the
+// highest-saving candidate across jobs faces the P_min threshold and the
+// Bernoulli draw, and when that gate rejects it, the best data-local
+// candidate found along the way (a small local task can be out-saved by a
+// large remote one) is assigned instead — Algorithm 1's P = 1 rule never
+// leaves the slot idle while a zero-cost placement exists. Scanning past
+// the head job mirrors how Hadoop's job-level scheduler iterates jobs
+// when the head job has nothing attractive for a node.
 func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 	p.sweep(ctx)
-	var best core.Choice
-	found := false
+	var best, local core.Choice
+	found, haveLocal := false, false
 	for _, j := range orderJobs(ctx, p.cfg.JobPolicy, mapKind) {
-		c, ok := core.SelectMapTaskWith(p.mapCost, j.PendingMaps(), node, ctx.AvailMapNodes)
+		sel, ok := core.SelectMapTaskWith(p.mapCost, p.cfg.Model, j.PendingMaps(), node, ctx.AvailMap)
 		if !ok {
 			continue
 		}
+		c := sel.Best
 		if c.Cost == 0 {
 			// Data-local placement for the fairest job that has one:
 			// assign instantly (Algorithm 1: P_mj = 1 when C = 0).
@@ -179,6 +201,11 @@ func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTa
 			}
 			return c.MapTask
 		}
+		if sel.HasLocal() && !haveLocal {
+			// Fallback from the fairest job that has a local candidate.
+			local = sel.Local
+			haveLocal = true
+		}
 		if !found || c.Saving() > best.Saving() {
 			best = c
 			found = true
@@ -187,9 +214,15 @@ func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTa
 	if !found {
 		return nil
 	}
-	prob := p.cfg.Model.Prob(best.AvgCost, best.Cost)
-	if t, ok := p.gate(ctx, node, best, prob); ok {
+	if t, ok := p.gate(ctx, node, best); ok {
 		return t.MapTask
+	}
+	if haveLocal {
+		if p.env.Obs.Enabled() {
+			p.emitChoice(ctx, node, obs.TaskAssign, local,
+				&obs.Decision{C: 0, CAvg: local.AvgCost, P: 1, PMin: p.cfg.Pmin, Draw: "local_fallback"}, "")
+		}
+		return local.MapTask
 	}
 	return nil
 }
@@ -198,8 +231,10 @@ func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTa
 // (lines 10-12 / 11-13) and the Bernoulli draw, emitting the offer /
 // assign / skip events with the Formula 1-5 breakdown when a sink is
 // attached. The Bernoulli draw consumes exactly the same RNG stream
-// whether or not observers are attached.
-func (p *Probabilistic) gate(ctx *Context, node topology.NodeID, best core.Choice, prob float64) (core.Choice, bool) {
+// whether or not observers are attached. best.Prob already carries the
+// configured model's probability — selection computes it exactly once.
+func (p *Probabilistic) gate(ctx *Context, node topology.NodeID, best core.Choice) (core.Choice, bool) {
+	prob := best.Prob
 	emit := p.env.Obs.Enabled()
 	if emit {
 		p.emitChoice(ctx, node, obs.TaskOffer, best,
@@ -265,8 +300,7 @@ func (p *Probabilistic) AssignReduce(ctx *Context, node topology.NodeID) *job.Re
 	if !found {
 		return nil
 	}
-	prob := p.cfg.Model.Prob(best.AvgCost, best.Cost)
-	if t, ok := p.gate(ctx, node, best, prob); ok {
+	if t, ok := p.gate(ctx, node, best); ok {
 		return t.ReduceTask
 	}
 	return nil
@@ -280,7 +314,7 @@ func (p *Probabilistic) selectReduce(ctx *Context, node topology.NodeID, spread 
 			continue // Algorithm 2 line 1
 		}
 		rc := p.coster(j, ctx.Now)
-		c, ok := core.SelectReduceTask(rc, j.PendingReduces(), node, ctx.AvailReduceNodes)
+		c, ok := core.SelectReduceTask(rc, p.cfg.Model, j.PendingReduces(), node, ctx.AvailReduce)
 		if !ok {
 			continue
 		}

@@ -41,11 +41,13 @@ type Context struct {
 	Now  sim.Time
 	Jobs []*job.Job // submitted, unfinished jobs in submission order
 
-	// AvailMapNodes / AvailReduceNodes list nodes that currently have at
+	// AvailMap / AvailReduce snapshot the nodes that currently have at
 	// least one free slot of the kind (the N_m and N_r sets of
-	// Formulas 4–5). They include the offered node.
-	AvailMapNodes    []topology.NodeID
-	AvailReduceNodes []topology.NodeID
+	// Formulas 4–5), including the offered node, plus the optional
+	// per-class counts and identity version the class-collapsed cost sums
+	// consume (see core.Avail).
+	AvailMap    core.Avail
+	AvailReduce core.Avail
 
 	// Slowstart is the map-progress fraction a job must reach before its
 	// reduce tasks become schedulable (Hadoop's

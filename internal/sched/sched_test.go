@@ -86,10 +86,10 @@ func allNodes(n int) []topology.NodeID {
 
 func ctxFor(jobs ...*job.Job) *Context {
 	return &Context{
-		Jobs:             jobs,
-		AvailMapNodes:    allNodes(8),
-		AvailReduceNodes: allNodes(8),
-		Slowstart:        0.05,
+		Jobs:        jobs,
+		AvailMap:    core.NewAvail(allNodes(8)),
+		AvailReduce: core.NewAvail(allNodes(8)),
+		Slowstart:   0.05,
 	}
 }
 
@@ -162,7 +162,7 @@ func TestProbabilisticPminSkipsExpensiveNode(t *testing.T) {
 	cfg.Pmin = 0.62 // above the cross-rack assignment probability
 	p := NewProbabilistic(cfg)(f.env).(*Probabilistic)
 	ctx := ctxFor(j)
-	ctx.AvailMapNodes = []topology.NodeID{0, 1, 2, 3, 4}
+	ctx.AvailMap = core.NewAvail([]topology.NodeID{0, 1, 2, 3, 4})
 	if got := p.AssignMap(ctx, 4); got != nil {
 		t.Fatalf("expensive node accepted a task with P < Pmin: %v", got)
 	}
@@ -454,5 +454,123 @@ func TestNilEstimatorDefaults(t *testing.T) {
 	p := NewProbabilistic(cfg)(f.env).(*Probabilistic)
 	if p.cfg.Estimator == nil {
 		t.Fatal("nil estimator not defaulted")
+	}
+}
+
+// TestProbabilisticSweepEvictsUnderBalancedChurn pins the sweep trigger:
+// the coster cache must drop a departed job as soon as the live set
+// changes, even when one job leaves exactly as another arrives so the
+// cache size never exceeds the live-set size (the leak the old
+// "cache > live" trigger missed).
+func TestProbabilisticSweepEvictsUnderBalancedChurn(t *testing.T) {
+	f := newFixture(t)
+	s := NewProbabilistic(DefaultProbabilisticConfig())(f.env)
+	p := s.(*Probabilistic)
+
+	finishMaps := func(j *job.Job) *job.Job {
+		for _, m := range j.Maps {
+			m.State = job.TaskDone
+			m.Node = topology.NodeID(m.Index)
+			m.Progress = 1
+		}
+		j.DoneMaps = len(j.Maps)
+		return j
+	}
+	j1 := finishMaps(f.addJob(t, 1, []topology.NodeID{0}, 2))
+	j2 := finishMaps(f.addJob(t, 2, []topology.NodeID{1}, 2))
+	s.AssignReduce(ctxFor(j1, j2), 0)
+	if len(p.costerCache) != 2 {
+		t.Fatalf("cache holds %d jobs after first offer, want 2", len(p.costerCache))
+	}
+
+	// Balanced churn: j1 leaves, j3 arrives, live size stays 2.
+	j3 := finishMaps(f.addJob(t, 3, []topology.NodeID{2}, 2))
+	s.AssignReduce(ctxFor(j2, j3), 1)
+	if _, dead := p.costerCache[j1.ID]; dead {
+		t.Fatal("departed job survived a balanced-churn sweep")
+	}
+	for id := range p.costerCache {
+		if id != j2.ID && id != j3.ID {
+			t.Fatalf("cache holds unknown job %d", id)
+		}
+	}
+
+	// And again: every job-set change sweeps, not just size excursions.
+	j4 := finishMaps(f.addJob(t, 4, []topology.NodeID{3}, 2))
+	s.AssignReduce(ctxFor(j3, j4), 2)
+	if _, dead := p.costerCache[j2.ID]; dead {
+		t.Fatal("departed job survived the second balanced-churn sweep")
+	}
+}
+
+// TestProbabilisticLocalFallbackWhenGateDeclines pins the Algorithm 1
+// P = 1 rule when the maximum-saving candidate is remote: a large remote
+// map out-saves a small data-local one, the gate rejects it (P < P_min),
+// and the slot must still go to the local task instead of idling.
+func TestProbabilisticLocalFallbackWhenGateDeclines(t *testing.T) {
+	f := newFixture(t)
+	cfg := DefaultProbabilisticConfig()
+	cfg.Pmin = 0.9 // above the remote candidate's P ≈ 0.75: gate always rejects
+	s := NewProbabilistic(cfg)(f.env)
+
+	// Map 0: 64 MB block on node 1 (same rack as the offered node 0, so
+	// its saving C_avg−C = (2.75−2)·64e6 dominates). Map 1: 1 MB block on
+	// node 0 itself (local, saving 2.75·1e6).
+	j := f.addJob(t, 1, []topology.NodeID{1, 0}, 1)
+	j.Maps[1].Size = 1e6
+
+	got := s.AssignMap(ctxFor(j), 0)
+	if got != j.Maps[1] {
+		t.Fatalf("assigned %+v, want the data-local fallback map 1", got)
+	}
+
+	// Same offer on node 3 (no local candidate there): the gate rejection
+	// must leave the slot idle.
+	j2 := f.addJob(t, 2, []topology.NodeID{1, 0}, 1)
+	if got := s.AssignMap(ctxFor(j2), 3); got != nil {
+		t.Fatalf("assigned %+v on a node with no local candidate, want nil", got)
+	}
+}
+
+// localOnly is a test probability model that only ever accepts data-local
+// placements: P = 1 at zero cost, 0 otherwise.
+type localOnly struct{}
+
+func (localOnly) Name() string { return "local-only" }
+func (localOnly) Prob(avg, cost float64) float64 {
+	if cost <= 0 {
+		return 1
+	}
+	return 0
+}
+
+// TestProbabilisticUsesConfiguredModel pins satellite 3: the probability
+// that gates an assignment is computed by cfg.Model, not hard-wired to
+// the exponential formula. Under a model that zeroes every remote
+// placement the scheduler must refuse a remote-only offer that the
+// default model (deterministically) accepts.
+func TestProbabilisticUsesConfiguredModel(t *testing.T) {
+	f := newFixture(t)
+	offer := topology.NodeID(3) // no replica on node 3: remote-only
+
+	base := DefaultProbabilisticConfig()
+	base.Deterministic = true // accept whenever P >= Pmin: no draw noise
+	exp := NewProbabilistic(base)(f.env)
+	j1 := f.addJob(t, 1, []topology.NodeID{0, 1}, 1)
+	if got := exp.AssignMap(ctxFor(j1), offer); got == nil {
+		t.Fatal("exponential model rejected a cheap remote placement")
+	}
+
+	strict := base
+	strict.Model = localOnly{}
+	lo := NewProbabilistic(strict)(f.env)
+	j2 := f.addJob(t, 2, []topology.NodeID{0, 1}, 1)
+	if got := lo.AssignMap(ctxFor(j2), offer); got != nil {
+		t.Fatalf("local-only model assigned remote map %+v, want nil", got)
+	}
+	// The model must still pass data-local placements through (P = 1).
+	j3 := f.addJob(t, 3, []topology.NodeID{offer}, 1)
+	if got := lo.AssignMap(ctxFor(j3), offer); got != j3.Maps[0] {
+		t.Fatalf("local-only model missed the local map, got %+v", got)
 	}
 }

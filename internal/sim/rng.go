@@ -6,25 +6,29 @@ import "math/rand"
 // should derive its own RNG via Fork so that adding draws in one subsystem
 // never perturbs another.
 type RNG struct {
-	r *rand.Rand
+	seed int64 // the seed this generator was created from (Fork input)
+	r    *rand.Rand
 }
 
 // NewRNG returns a deterministic generator for the given seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return &RNG{seed: seed, r: rand.New(rand.NewSource(seed))}
 }
 
 // Fork derives an independent generator whose stream depends only on the
-// parent seed and the label, not on how many values the parent has drawn.
+// parent seed and the label — not on how many values the parent has
+// drawn, and not on fork order. The parent stream is not consumed.
 func (g *RNG) Fork(label string) *RNG {
-	// Mix the label into a child seed with an FNV-1a style fold. The parent
-	// stream is not consumed, keeping subsystems independent.
+	// Mix the label into a child seed with an FNV-1a style fold, then fold
+	// in the parent's stored seed the same way so distinct parents with
+	// the same label produce distinct children.
 	var h uint64 = 1469598103934665603
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	h ^= uint64(g.r.Int63()) // tie the child to this particular generator state
+	h ^= uint64(g.seed)
+	h *= 1099511628211
 	return NewRNG(int64(h))
 }
 

@@ -376,3 +376,50 @@ func TestRNGDistributions(t *testing.T) {
 		t.Fatalf("exponential mean %v, want ~1", m)
 	}
 }
+
+// TestRNGForkDoesNotConsumeParent pins the Fork contract the fault and
+// scheduler subsystems rely on: deriving a child never advances the
+// parent stream, so a subsystem that forks lazily mid-run cannot perturb
+// draws elsewhere.
+func TestRNGForkDoesNotConsumeParent(t *testing.T) {
+	plain := NewRNG(99)
+	forked := NewRNG(99)
+	forked.Fork("a")
+	forked.Fork("b").Fork("nested")
+	for i := 0; i < 64; i++ {
+		if plain.Int63() != forked.Int63() {
+			t.Fatalf("draw %d differs: forking consumed the parent stream", i)
+		}
+	}
+}
+
+// TestRNGForkIgnoresParentDrawCount pins the other half of the contract:
+// a child's stream depends only on (parent seed, label), not on how many
+// values the parent drew first or in which order siblings were forked.
+func TestRNGForkIgnoresParentDrawCount(t *testing.T) {
+	fresh := NewRNG(7).Fork("sub")
+	drained := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		drained.Float64()
+	}
+	late := drained.Fork("sub")
+	for i := 0; i < 64; i++ {
+		if fresh.Int63() != late.Int63() {
+			t.Fatalf("draw %d differs: child stream depends on parent draw count", i)
+		}
+	}
+
+	// Sibling fork order is equally irrelevant: "x" after "y" equals "x"
+	// forked alone.
+	xAfterY := func() *RNG {
+		p := NewRNG(7)
+		p.Fork("y")
+		return p.Fork("x")
+	}()
+	xAlone := NewRNG(7).Fork("x")
+	for i := 0; i < 64; i++ {
+		if xAfterY.Int63() != xAlone.Int63() {
+			t.Fatalf("draw %d differs: fork order changed a sibling's stream", i)
+		}
+	}
+}

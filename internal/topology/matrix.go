@@ -16,12 +16,16 @@ type Matrix struct {
 	eng   *sim.Engine
 	bps   float64
 	disk  float64
+
+	classes    *Classes // memoized class derivation (nil when none exists)
+	classTried bool
 }
 
 var (
-	_ Network      = (*Matrix)(nil)
-	_ RateObserver = (*Matrix)(nil)
-	_ Transferer   = (*Matrix)(nil)
+	_ Network        = (*Matrix)(nil)
+	_ RateObserver   = (*Matrix)(nil)
+	_ Transferer     = (*Matrix)(nil)
+	_ ClassedNetwork = (*Matrix)(nil)
 )
 
 // NewMatrix builds a Matrix topology. h must be square with a zero

@@ -128,12 +128,15 @@ type Cluster struct {
 	hostDown []LinkID // ToR -> host i
 	torUp    []LinkID // rack r ToR -> core
 	torDown  []LinkID // core -> rack r ToR
+
+	classes *Classes // memoized rack-level class view, built on first use
 }
 
 var (
-	_ Network      = (*Cluster)(nil)
-	_ RateObserver = (*Cluster)(nil)
-	_ Transferer   = (*Cluster)(nil)
+	_ Network        = (*Cluster)(nil)
+	_ RateObserver   = (*Cluster)(nil)
+	_ Transferer     = (*Cluster)(nil)
+	_ ClassedNetwork = (*Cluster)(nil)
 )
 
 // NewCluster builds the topology and its flow network on eng.
