@@ -46,6 +46,7 @@ bench-smoke:
 		-benchmem -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkSelect_ClusterScale' \
 		-benchmem -benchtime 20x .
+	sh scripts/alloc_guard.sh
 
 # Full benchmark pass; records results in BENCH_baseline.json and
 # the cluster-size trajectory in BENCH_scale.json.

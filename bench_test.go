@@ -321,7 +321,12 @@ func BenchmarkSimulation_Fair(b *testing.B) { benchBatchRun(b, experiments.Fair)
 // Macro benches of the parallel experiment harness: the full
 // three-scheduler x three-batch comparison, once with the worker pool at
 // GOMAXPROCS and once pinned to a single worker (the old sequential
-// behaviour). The ratio is the harness speedup on this machine.
+// behaviour). The ratio is the harness speedup on this machine — but
+// only when GOMAXPROCS > 1. The comparison fans out 9 leaf simulations
+// (3 schedulers x 3 workload batches), so the pool saturates at
+// min(9, GOMAXPROCS); on a single-core machine both variants execute one
+// simulation at a time and any Parallel-vs-Serial delta is noise. Each
+// run reports gomaxprocs so the output is self-describing.
 
 func benchComparisonRun(b *testing.B, workers int) {
 	s := benchSetup()
@@ -329,6 +334,7 @@ func benchComparisonRun(b *testing.B, workers int) {
 		experiments.SetMaxWorkers(workers)
 		defer experiments.SetMaxWorkers(runtime.GOMAXPROCS(0))
 	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 	for i := 0; i < b.N; i++ {
 		c, err := s.RunComparison()
 		if err != nil {
@@ -343,6 +349,17 @@ func benchComparisonRun(b *testing.B, workers int) {
 func BenchmarkSimulation_ComparisonParallel(b *testing.B) { benchComparisonRun(b, 0) }
 
 func BenchmarkSimulation_ComparisonSerial(b *testing.B) { benchComparisonRun(b, 1) }
+
+// BenchmarkSimulation_ComparisonWorkers sweeps the worker-pool size over
+// the useful range (the comparison has 9 leaf simulations). On a
+// multi-core machine the curve rises until min(9, GOMAXPROCS) and then
+// flattens; on a single-core machine it is flat by construction, which is
+// the honest shape rather than a parallelism win.
+func BenchmarkSimulation_ComparisonWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 9} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchComparisonRun(b, w) })
+	}
+}
 
 // Ablation benches (design choices called out in DESIGN.md).
 

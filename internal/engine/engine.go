@@ -194,8 +194,11 @@ func (c Config) Validate() error {
 }
 
 // mapAttempt is one execution attempt of a map task (there can be two
-// when speculation fires).
+// when speculation fires). Attempts are pooled (see pool.go): the bound
+// callbacks persist across lives, everything else is per-life state.
 type mapAttempt struct {
+	m            *job.MapTask
+	run          *mapRun
 	node         topology.NodeID
 	locality     job.Locality
 	launch       sim.Time
@@ -205,8 +208,13 @@ type mapAttempt struct {
 	computeStart sim.Time
 	computeDur   float64
 	computeEv    *sim.Event
+	failEv       *sim.Event // scripted transient failure, if drawn
 	computeDone  bool
 	dead         bool
+
+	fetchFn   func() //lint:pooled-keep bound once: input stream completion
+	computeFn func() //lint:pooled-keep bound once: compute phase completion
+	failFn    func() //lint:pooled-keep bound once: transient-failure timer
 }
 
 // progress returns the attempt's compute progress in [0, 1).
@@ -247,18 +255,25 @@ type srcBucket struct {
 	maps  []*job.MapTask
 }
 
-// flight is an in-progress shuffle fetch.
+// flight is an in-progress shuffle fetch. Flights are pooled (see
+// pool.go): doneFn persists across lives.
 type flight struct {
-	src   topology.NodeID
-	bytes float64
-	maps  []*job.MapTask
-	flow  *topology.Flow
+	att    *redAttempt
+	src    topology.NodeID
+	bytes  float64
+	maps   []*job.MapTask
+	flow   *topology.Flow
+	doneFn func() //lint:pooled-keep bound once: fetch flow completion
 }
 
 // redAttempt is one execution attempt of a reduce task: its own shuffle
 // state (sources, in-flight fetches, received bytes) and compute phase.
-// There can be two attempts when reduce speculation fires.
+// There can be two attempts when reduce speculation fires. Attempts are
+// pooled (see pool.go): the bound callbacks and the shuffle-state maps
+// persist across lives.
 type redAttempt struct {
+	r            *job.ReduceTask
+	run          *reduceRun
 	node         topology.NodeID
 	locality     job.Locality
 	launch       sim.Time
@@ -273,6 +288,9 @@ type redAttempt struct {
 	computeEv    *sim.Event
 	failFrac     float64 // > 0: scripted transient failure at this compute fraction
 	dead         bool
+
+	finishFn func() //lint:pooled-keep bound once: compute phase completion
+	failCFn  func() //lint:pooled-keep bound once: scripted mid-compute failure
 }
 
 // reduceRun is the engine-side execution state of a running reduce task.
@@ -323,6 +341,21 @@ type Simulation struct {
 	stats       map[job.ID]*jobStats
 	speedOf     []float64 // per-node compute-speed multiplier (1 = nominal)
 	baseSpeed   []float64 // speedOf before transient slowdowns (heterogeneity only)
+
+	// Free lists for the pooled hot-path records (pool.go) and the
+	// per-node heartbeat closures, allocated once instead of per beat.
+	freeMapRuns []*mapRun
+	freeMapAtts []*mapAttempt
+	freeRedRuns []*reduceRun
+	freeRedAtts []*redAttempt
+	freeBuckets []*srcBucket
+	freeFlights []*flight
+	hbFns       []func()
+
+	// ctx is the scheduler context reused across every offer; buildCtx
+	// refreshes its fields in place so the per-offer snapshot allocates
+	// nothing and the context's internal scratch buffers persist.
+	ctx sched.Context
 
 	// Failure state. crashed marks nodes physically dead at the fault
 	// instant: their attempts stop and heartbeats cease, but the
@@ -457,6 +490,14 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 	// heterogeneity) see the exact seeds they saw before the fault layer
 	// existed — the empty-plan bit-identity guarantee depends on it.
 	s.rngFaults = root.Fork("faults")
+	// One heartbeat closure per node for the lifetime of the run; the
+	// heartbeat chain reschedules these instead of allocating a closure
+	// per beat.
+	s.hbFns = make([]func(), topo.Size())
+	for i := range s.hbFns {
+		n := topology.NodeID(i)
+		s.hbFns[i] = func() { s.heartbeat(n) }
+	}
 	return s, nil
 }
 
@@ -528,9 +569,8 @@ func (s *Simulation) Run() (*Result, error) {
 	// Heartbeat chains, phase-offset per node so offers do not synchronize.
 	interval := s.cfg.HeartbeatInterval
 	for i := 0; i < s.topo.Size(); i++ {
-		n := topology.NodeID(i)
 		offset := interval * float64(i) / float64(s.topo.Size())
-		s.eng.Schedule(sim.Time(offset), func() { s.heartbeat(n) })
+		s.eng.Schedule(sim.Time(offset), s.hbFns[i])
 	}
 
 	s.utilMap.Update(0, 0)
@@ -606,20 +646,21 @@ func (s *Simulation) heartbeat(n topology.NodeID) {
 			}
 		}
 	}
-	s.eng.After(s.cfg.HeartbeatInterval, func() { s.heartbeat(n) })
+	s.eng.After(s.cfg.HeartbeatInterval, s.hbFns[n])
 }
 
-// buildCtx snapshots the scheduler-visible cluster state.
+// buildCtx snapshots the scheduler-visible cluster state into the
+// simulation's single reused Context. Schedulers never retain the
+// context beyond the Assign call, so in-place refresh is safe.
 func (s *Simulation) buildCtx() *sched.Context {
 	am, amCounts, amVer := s.state.AvailMap()
 	ar, arCounts, arVer := s.state.AvailReduce()
-	return &sched.Context{
-		Now:         s.eng.Now(),
-		Jobs:        s.active,
-		AvailMap:    core.Avail{Nodes: am, Counts: amCounts, Version: amVer},
-		AvailReduce: core.Avail{Nodes: ar, Counts: arCounts, Version: arVer},
-		Slowstart:   s.cfg.Slowstart,
-	}
+	s.ctx.Now = s.eng.Now()
+	s.ctx.Jobs = s.active
+	s.ctx.AvailMap = core.Avail{Nodes: am, Counts: amCounts, Version: amVer}
+	s.ctx.AvailReduce = core.Avail{Nodes: ar, Counts: arCounts, Version: arVer}
+	s.ctx.Slowstart = s.cfg.Slowstart
+	return &s.ctx
 }
 
 // refreshProgress updates the Progress field of every running map task to
@@ -683,7 +724,7 @@ func (s *Simulation) launchMap(m *job.MapTask, n topology.NodeID) bool {
 		e.Wait = float64(m.Launch - m.Job.Submitted)
 		s.obs.Emit(e)
 	}
-	run := &mapRun{}
+	run := s.newMapRun()
 	s.runningMaps[m] = run
 	s.startAttempt(m, run, n)
 	return true
@@ -693,11 +734,10 @@ func (s *Simulation) launchMap(m *job.MapTask, n topology.NodeID) bool {
 // stream from the nearest live replica overlapped with the compute work.
 func (s *Simulation) startAttempt(m *job.MapTask, run *mapRun, n topology.NodeID) {
 	prof := m.Job.Spec.Profile
-	att := &mapAttempt{
-		node:     n,
-		locality: s.cost.Locality(m, n),
-		launch:   s.eng.Now(),
-	}
+	att := s.newMapAttempt(m, run)
+	att.node = n
+	att.locality = s.cost.Locality(m, n)
+	att.launch = s.eng.Now()
 	run.attempts = append(run.attempts, att)
 
 	src, _ := s.aliveNearest(m.Block, n) // caller checked ok
@@ -705,29 +745,17 @@ func (s *Simulation) startAttempt(m *job.MapTask, run *mapRun, n topology.NodeID
 		s.mapRemoteBytes += m.Size
 	}
 	att.fetchSrc = src
-	att.fetch = s.topo.Transfer(src, n, m.Size, func() {
-		if att.dead {
-			return
-		}
-		att.fetchDone = true
-		s.checkAttempt(m, run, att)
-	})
+	att.fetch = s.topo.Transfer(src, n, m.Size, att.fetchFn)
 	att.computeStart = s.eng.Now()
 	att.computeDur = s.cfg.TaskOverhead +
 		s.rngEngine.Jitter(m.Size/(prof.MapRate*s.speedOf[n]), prof.ComputeJitter)
-	att.computeEv = s.eng.After(att.computeDur, func() {
-		if att.dead {
-			return
-		}
-		att.computeDone = true
-		s.checkAttempt(m, run, att)
-	})
+	att.computeEv = s.eng.After(att.computeDur, att.computeFn)
 	// Transient attempt failure: a Bernoulli draw per attempt, failing at
 	// a uniform point of the compute phase (always before the completion
 	// event, so a selected attempt cannot win the task).
 	if p := s.cfg.Faults.TaskFailProb; p > 0 && s.rngFaults.Bernoulli(p) {
 		failAt := s.rngFaults.Float64() * att.computeDur
-		s.eng.After(failAt, func() { s.failMapAttempt(m, run, att) })
+		att.failEv = s.eng.After(failAt, att.failFn)
 	}
 }
 
@@ -746,13 +774,21 @@ func (s *Simulation) killAttempt(att *mapAttempt, releaseSlot bool) {
 		return
 	}
 	att.dead = true
-	if att.fetch != nil && !att.fetch.Finished() {
-		s.topo.Net().Cancel(att.fetch)
+	if att.fetch != nil {
+		if !att.fetch.Finished() {
+			s.topo.Net().Cancel(att.fetch)
+		}
+		s.topo.Net().Release(att.fetch)
+		att.fetch = nil
 	}
 	if att.computeEv != nil {
 		att.computeEv.Cancel()
 		s.eng.Remove(att.computeEv)
 		att.computeEv = nil
+	}
+	if att.failEv != nil {
+		s.eng.Remove(att.failEv)
+		att.failEv = nil
 	}
 	if releaseSlot {
 		s.state.Node(att.node).ReleaseMap()
@@ -818,6 +854,9 @@ func (s *Simulation) winMap(m *job.MapTask, run *mapRun, winner *mapAttempt) {
 			s.maybeStartReduceCompute(r, rrun, att)
 		}
 	}
+	// Every attempt is dead (winner included) and detached; recycle the
+	// run and its attempts.
+	s.releaseMapRun(run)
 }
 
 // trySpeculate launches a backup attempt of the worst straggling map on
@@ -918,7 +957,7 @@ func (s *Simulation) trySpeculateReduce(n topology.NodeID) bool {
 		s.obs.Emit(s.taskEvent(obs.SpecStart, n, worst.Job, "reduce", worst.Index))
 	}
 	// The backup re-fetches every finished map's output independently.
-	att := s.newRedAttempt(worst, n)
+	att := s.newRedAttempt(worst, worstRun, n)
 	worstRun.attempts = append(worstRun.attempts, att)
 	s.enqueueDoneMaps(worst, att)
 	s.pumpShuffle(worst, worstRun, att)
@@ -946,9 +985,9 @@ func (s *Simulation) launchReduce(r *job.ReduceTask, n topology.NodeID) {
 		e.Wait = float64(r.Launch - r.Job.Submitted)
 		s.obs.Emit(e)
 	}
-	run := &reduceRun{}
+	run := s.newReduceRun()
 	s.runningReds[r] = run
-	att := s.newRedAttempt(r, n)
+	att := s.newRedAttempt(r, run, n)
 	run.attempts = append(run.attempts, att)
 	s.enqueueDoneMaps(r, att)
 	s.pumpShuffle(r, run, att)
@@ -957,15 +996,11 @@ func (s *Simulation) launchReduce(r *job.ReduceTask, n topology.NodeID) {
 
 // newRedAttempt builds one reduce execution attempt on node n, drawing
 // its transient-failure fate when the fault plan has one.
-func (s *Simulation) newRedAttempt(r *job.ReduceTask, n topology.NodeID) *redAttempt {
-	att := &redAttempt{
-		node:       n,
-		locality:   s.reduceLocality(r.Job, n),
-		launch:     s.eng.Now(),
-		pendingSrc: make(map[topology.NodeID]*srcBucket),
-		flights:    make(map[*topology.Flow]*flight),
-		got:        make(map[*job.MapTask]bool),
-	}
+func (s *Simulation) newRedAttempt(r *job.ReduceTask, run *reduceRun, n topology.NodeID) *redAttempt {
+	att := s.newRedAttemptRecord(r, run)
+	att.node = n
+	att.locality = s.reduceLocality(r.Job, n)
+	att.launch = s.eng.Now()
 	if p := s.cfg.Faults.TaskFailProb; p > 0 && s.rngFaults.Bernoulli(p) {
 		// Reduce compute duration is unknown until the shuffle drains, so
 		// remember the failure point as a fraction of the eventual compute
@@ -1046,7 +1081,7 @@ func (s *Simulation) enqueueDoneMaps(r *job.ReduceTask, att *redAttempt) {
 func (s *Simulation) enqueueFetch(att *redAttempt, src topology.NodeID, bytes float64, m *job.MapTask) {
 	b, ok := att.pendingSrc[src]
 	if !ok {
-		b = &srcBucket{}
+		b = s.newBucket()
 		att.pendingSrc[src] = b
 		att.queue = append(att.queue, src)
 	}
@@ -1081,24 +1116,20 @@ func (s *Simulation) pumpShuffle(r *job.ReduceTask, run *reduceRun, att *redAtte
 			continue // bucket was dropped by failure recovery
 		}
 		delete(att.pendingSrc, src)
-		fl := &flight{src: src, bytes: b.bytes, maps: b.maps}
+		fl := s.newFlight(att)
+		fl.src = src
+		fl.bytes = b.bytes
+		// The maps slice moves to the flight; the bucket must not keep an
+		// alias or a recycled bucket would append into the flight's array.
+		fl.maps = b.maps
+		b.maps = nil
+		s.releaseBucket(b)
 		if src == att.node {
-			s.shuffleLocalBytes += b.bytes
+			s.shuffleLocalBytes += fl.bytes
 		} else {
-			s.shuffleRemoteBytes += b.bytes
+			s.shuffleRemoteBytes += fl.bytes
 		}
-		fl.flow = s.topo.Transfer(src, att.node, b.bytes, func() {
-			if att.dead {
-				return
-			}
-			delete(att.flights, fl.flow)
-			att.shuffled += fl.bytes
-			if r.Node == att.node {
-				r.ShuffledBytes = att.shuffled
-			}
-			s.pumpShuffle(r, run, att)
-			s.maybeStartReduceCompute(r, run, att)
-		})
+		fl.flow = s.topo.Transfer(src, att.node, fl.bytes, fl.doneFn)
 		att.flights[fl.flow] = fl
 	}
 }
@@ -1119,10 +1150,10 @@ func (s *Simulation) maybeStartReduceCompute(r *job.ReduceTask, run *reduceRun, 
 	if att.failFrac > 0 {
 		// A transiently failing attempt never reaches completion; its
 		// scripted failure fires partway through the compute phase.
-		att.computeEv = s.eng.After(att.failFrac*dur, func() { s.failReduceAttempt(r, run, att) })
+		att.computeEv = s.eng.After(att.failFrac*dur, att.failCFn)
 		return
 	}
-	att.computeEv = s.eng.After(dur, func() { s.finishReduce(r, run, att) })
+	att.computeEv = s.eng.After(dur, att.finishFn)
 }
 
 // finishReduce completes a reduce task via the winning attempt (killing
@@ -1177,6 +1208,9 @@ func (s *Simulation) finishReduce(r *job.ReduceTask, run *reduceRun, winner *red
 			s.obs.Emit(e)
 		}
 	}
+	// Every attempt is dead (winner included) and detached; recycle the
+	// run and its attempts.
+	s.releaseReduceRun(run)
 }
 
 // outputStillNeeded reports whether any unfinished reduce of j still needs

@@ -144,6 +144,7 @@ func (s *Simulation) crashNode(d topology.NodeID) {
 func (s *Simulation) restartMapFetch(m *job.MapTask, run *mapRun, att *mapAttempt) bool {
 	if att.fetch != nil && !att.fetch.Finished() {
 		s.topo.Net().Cancel(att.fetch)
+		s.topo.Net().Release(att.fetch)
 		att.fetch = nil
 	}
 	src, ok := s.aliveNearest(m.Block, att.node)
@@ -156,13 +157,7 @@ func (s *Simulation) restartMapFetch(m *job.MapTask, run *mapRun, att *mapAttemp
 		s.mapRemoteBytes += m.Size
 	}
 	att.fetchSrc = src
-	att.fetch = s.topo.Transfer(src, att.node, m.Size, func() {
-		if att.dead {
-			return
-		}
-		att.fetchDone = true
-		s.checkAttempt(m, run, att)
-	})
+	att.fetch = s.topo.Transfer(src, att.node, m.Size, att.fetchFn)
 	return true
 }
 
@@ -186,15 +181,17 @@ func (s *Simulation) reclaimCrashedFetches(att *redAttempt, d topology.NodeID) {
 	for _, flow := range doomed {
 		fl := att.flights[flow]
 		s.topo.Net().Cancel(flow)
+		s.topo.Net().Release(flow)
 		delete(att.flights, flow)
 		b, ok := att.pendingSrc[d]
 		if !ok {
-			b = &srcBucket{}
+			b = s.newBucket()
 			att.pendingSrc[d] = b
 			att.queue = append(att.queue, d)
 		}
 		b.bytes += fl.bytes
 		b.maps = append(b.maps, fl.maps...)
+		s.releaseFlight(fl)
 	}
 }
 
@@ -293,7 +290,10 @@ func (s *Simulation) detectNode(d topology.NodeID) {
 // revertMapTask returns a running map task to the pending pool after its
 // attempts died.
 func (s *Simulation) revertMapTask(m *job.MapTask, at topology.NodeID, reason string) {
-	delete(s.runningMaps, m)
+	if run := s.runningMaps[m]; run != nil {
+		delete(s.runningMaps, m)
+		s.releaseMapRun(run)
+	}
 	m.State = job.TaskPending
 	m.Progress = 0
 	m.Node = -1
@@ -313,6 +313,7 @@ func (s *Simulation) revertReduceTask(r *job.ReduceTask, run *reduceRun, at topo
 		}
 	}
 	delete(s.runningReds, r)
+	s.releaseReduceRun(run)
 	r.State = job.TaskPending
 	r.Node = -1
 	r.ShuffledBytes = 0
@@ -357,9 +358,12 @@ func (s *Simulation) killRedAttempt(att *redAttempt, releaseSlot bool) {
 		return fa.src < fb.src
 	})
 	for _, flow := range flows {
+		fl := att.flights[flow]
 		s.topo.Net().Cancel(flow)
+		s.topo.Net().Release(flow)
+		delete(att.flights, flow)
+		s.releaseFlight(fl)
 	}
-	att.flights = make(map[*topology.Flow]*flight)
 	if att.computeEv != nil {
 		att.computeEv.Cancel()
 		s.eng.Remove(att.computeEv)
@@ -377,16 +381,19 @@ func (s *Simulation) failMapAttempt(m *job.MapTask, run *mapRun, att *mapAttempt
 	if att.dead || m.State != job.TaskRunning || s.runningMaps[m] != run {
 		return
 	}
-	s.killAttempt(att, !s.crashed[att.node])
+	// Reverting the task recycles the run and its attempts, so att must
+	// not be read past that point.
+	node := att.node
+	s.killAttempt(att, !s.crashed[node])
 	s.sampleUtil()
 	s.attemptFailures++
 	if s.obs.Enabled() {
-		s.obs.Emit(s.taskEvent(obs.AttemptFail, att.node, m.Job, "map", m.Index))
+		s.obs.Emit(s.taskEvent(obs.AttemptFail, node, m.Job, "map", m.Index))
 	}
 	if run.liveAttempts() == 0 {
-		s.revertMapTask(m, att.node, "attempt_fail")
+		s.revertMapTask(m, node, "attempt_fail")
 	}
-	s.noteNodeFailure(m.Job, att.node)
+	s.noteNodeFailure(m.Job, node)
 	s.mapFails[m]++
 	if s.mapFails[m] >= s.cfg.Faults.MaxAttempts() {
 		s.failJob(m.Job, "map_attempts_exhausted")
@@ -399,18 +406,21 @@ func (s *Simulation) failReduceAttempt(r *job.ReduceTask, run *reduceRun, att *r
 	if att.dead || s.runningReds[r] != run {
 		return
 	}
-	s.killRedAttempt(att, !s.crashed[att.node])
+	// Reverting the task recycles the run and its attempts, so att must
+	// not be read past that point.
+	node := att.node
+	s.killRedAttempt(att, !s.crashed[node])
 	s.sampleUtil()
 	s.attemptFailures++
 	if s.obs.Enabled() {
-		s.obs.Emit(s.taskEvent(obs.AttemptFail, att.node, r.Job, "reduce", r.Index))
+		s.obs.Emit(s.taskEvent(obs.AttemptFail, node, r.Job, "reduce", r.Index))
 	}
 	if run.liveAttempts() == 0 {
-		s.revertReduceTask(r, run, att.node, "attempt_fail")
-	} else if r.Node == att.node {
+		s.revertReduceTask(r, run, node, "attempt_fail")
+	} else if r.Node == node {
 		s.repointReduce(r, run)
 	}
-	s.noteNodeFailure(r.Job, att.node)
+	s.noteNodeFailure(r.Job, node)
 	s.redFails[r]++
 	if s.redFails[r] >= s.cfg.Faults.MaxAttempts() {
 		s.failJob(r.Job, "reduce_attempts_exhausted")
@@ -456,8 +466,9 @@ func (s *Simulation) failJob(j *job.Job, reason string) {
 					s.killAttempt(a, !s.crashed[a.node])
 				}
 			}
+			delete(s.runningMaps, m)
+			s.releaseMapRun(run)
 		}
-		delete(s.runningMaps, m)
 		m.State = job.TaskPending
 		m.Progress = 0
 		m.Node = -1
@@ -472,8 +483,9 @@ func (s *Simulation) failJob(j *job.Job, reason string) {
 					s.killRedAttempt(a, !s.crashed[a.node])
 				}
 			}
+			delete(s.runningReds, r)
+			s.releaseReduceRun(run)
 		}
-		delete(s.runningReds, r)
 		r.State = job.TaskPending
 		r.Node = -1
 		r.ShuffledBytes = 0
@@ -529,14 +541,7 @@ func (s *Simulation) applySlowdown(n topology.NodeID, factor float64) {
 			s.eng.Remove(a.computeEv)
 			remaining *= ratio
 			a.computeDur = elapsed + remaining
-			att, mm, rr := a, m, run
-			att.computeEv = s.eng.After(remaining, func() {
-				if att.dead {
-					return
-				}
-				att.computeDone = true
-				s.checkAttempt(mm, rr, att)
-			})
+			a.computeEv = s.eng.After(remaining, a.computeFn)
 		}
 	}
 	for _, r := range sortedRunningReds(s.runningReds) {
@@ -554,17 +559,16 @@ func (s *Simulation) applySlowdown(n topology.NodeID, factor float64) {
 			s.eng.Remove(a.computeEv)
 			remaining *= ratio
 			a.computeDur = elapsed + remaining
-			att, rt, rn := a, r, run
-			if att.failFrac > 0 {
+			if a.failFrac > 0 {
 				// The pending event was the scripted mid-compute failure at
 				// failFrac × dur; keep it at the same progress point.
-				fireIn := att.failFrac*att.computeDur - elapsed
+				fireIn := a.failFrac*a.computeDur - elapsed
 				if fireIn < 0 {
 					fireIn = 0
 				}
-				att.computeEv = s.eng.After(fireIn, func() { s.failReduceAttempt(rt, rn, att) })
+				a.computeEv = s.eng.After(fireIn, a.failCFn)
 			} else {
-				att.computeEv = s.eng.After(remaining, func() { s.finishReduce(rt, rn, att) })
+				a.computeEv = s.eng.After(remaining, a.finishFn)
 			}
 		}
 	}

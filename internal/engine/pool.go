@@ -1,0 +1,261 @@
+// Free-list allocation of the engine's hot-path records: map/reduce
+// attempts, runs, shuffle source buckets and fetch flights. A simulation
+// churns through hundreds of thousands of these — one mapAttempt per map
+// task attempt, one flight per shuffle fetch — and none outlive their
+// task, so pooling turns the steady-state allocation rate to ~zero.
+//
+// Contract (enforced by the poolreset schedlint analyzer): every release
+// function resets all fields of the record before putting it on the free
+// list, except the bound callback closures, which deliberately persist —
+// they capture only the pooled object's stable pointer and read its
+// per-life fields at fire time, so one closure allocation serves every
+// life of the object.
+//
+// Release safety: a record may be released only when nothing can call
+// back into it. For attempts that means their sim events are off the
+// queue (fired-and-nilled or removed here) and their flows are finished
+// or cancelled; both are re-checked defensively below because a
+// same-instant tie can leave a transient-failure timer queued after the
+// attempt already won.
+package engine
+
+import (
+	"mapsched/internal/job"
+	"mapsched/internal/topology"
+)
+
+func (s *Simulation) newMapRun() *mapRun {
+	if k := len(s.freeMapRuns); k > 0 {
+		run := s.freeMapRuns[k-1]
+		s.freeMapRuns[k-1] = nil
+		s.freeMapRuns = s.freeMapRuns[:k-1]
+		return run
+	}
+	return &mapRun{}
+}
+
+// releaseMapRun recycles a finished or reverted map run and all its
+// attempts. Caller guarantees every attempt is dead or won.
+func (s *Simulation) releaseMapRun(run *mapRun) {
+	for _, att := range run.attempts {
+		s.releaseMapAttempt(att)
+	}
+	//lint:pooled mapRun
+	run.attempts = run.attempts[:0]
+	s.freeMapRuns = append(s.freeMapRuns, run)
+}
+
+// newMapAttempt allocates a map attempt bound to its task and run. The
+// three callbacks are allocated once per pooled object and survive
+// recycling: they capture att alone and read att.m/att.run when they
+// fire.
+func (s *Simulation) newMapAttempt(m *job.MapTask, run *mapRun) *mapAttempt {
+	var att *mapAttempt
+	if k := len(s.freeMapAtts); k > 0 {
+		att = s.freeMapAtts[k-1]
+		s.freeMapAtts[k-1] = nil
+		s.freeMapAtts = s.freeMapAtts[:k-1]
+	} else {
+		att = &mapAttempt{}
+		att.fetchFn = func() {
+			if att.dead {
+				return
+			}
+			s.topo.Net().Release(att.fetch)
+			att.fetch = nil
+			att.fetchDone = true
+			s.checkAttempt(att.m, att.run, att)
+		}
+		att.computeFn = func() {
+			// The event just fired; drop the handle before anything can
+			// Cancel a recycled event through it.
+			att.computeEv = nil
+			if att.dead {
+				return
+			}
+			att.computeDone = true
+			s.checkAttempt(att.m, att.run, att)
+		}
+		att.failFn = func() {
+			att.failEv = nil
+			s.failMapAttempt(att.m, att.run, att)
+		}
+	}
+	att.m, att.run = m, run
+	return att
+}
+
+// releaseMapAttempt detaches anything still pointing at the attempt and
+// recycles it.
+func (s *Simulation) releaseMapAttempt(att *mapAttempt) {
+	if att.failEv != nil {
+		s.eng.Remove(att.failEv)
+	}
+	if att.computeEv != nil {
+		att.computeEv.Cancel()
+		s.eng.Remove(att.computeEv)
+	}
+	if att.fetch != nil {
+		if !att.fetch.Finished() {
+			s.topo.Net().Cancel(att.fetch)
+		}
+		s.topo.Net().Release(att.fetch)
+	}
+	//lint:pooled mapAttempt
+	*att = mapAttempt{fetchFn: att.fetchFn, computeFn: att.computeFn, failFn: att.failFn}
+	s.freeMapAtts = append(s.freeMapAtts, att)
+}
+
+func (s *Simulation) newReduceRun() *reduceRun {
+	if k := len(s.freeRedRuns); k > 0 {
+		run := s.freeRedRuns[k-1]
+		s.freeRedRuns[k-1] = nil
+		s.freeRedRuns = s.freeRedRuns[:k-1]
+		return run
+	}
+	return &reduceRun{}
+}
+
+// releaseReduceRun recycles a finished or reverted reduce run and all its
+// attempts. Caller guarantees every attempt is dead or won and every
+// in-flight fetch was cancelled (killRedAttempt clears flights; the
+// winning attempt cannot have any).
+func (s *Simulation) releaseReduceRun(run *reduceRun) {
+	for _, att := range run.attempts {
+		s.releaseRedAttempt(att)
+	}
+	//lint:pooled reduceRun
+	run.attempts = run.attempts[:0]
+	s.freeRedRuns = append(s.freeRedRuns, run)
+}
+
+// newRedAttempt allocates a reduce attempt bound to its task and run,
+// reusing the shuffle-state maps of a previous life when pooled.
+func (s *Simulation) newRedAttemptRecord(r *job.ReduceTask, run *reduceRun) *redAttempt {
+	var att *redAttempt
+	if k := len(s.freeRedAtts); k > 0 {
+		att = s.freeRedAtts[k-1]
+		s.freeRedAtts[k-1] = nil
+		s.freeRedAtts = s.freeRedAtts[:k-1]
+	} else {
+		att = &redAttempt{
+			pendingSrc: make(map[topology.NodeID]*srcBucket),
+			flights:    make(map[*topology.Flow]*flight),
+			got:        make(map[*job.MapTask]bool),
+		}
+		att.finishFn = func() {
+			att.computeEv = nil
+			s.finishReduce(att.r, att.run, att)
+		}
+		att.failCFn = func() {
+			att.computeEv = nil
+			s.failReduceAttempt(att.r, att.run, att)
+		}
+	}
+	att.r, att.run = r, run
+	return att
+}
+
+// releaseRedAttempt detaches and recycles a reduce attempt. Buckets still
+// queued are released via the deterministic queue slice; the maps are
+// cleared in place so their storage carries over to the next life.
+func (s *Simulation) releaseRedAttempt(att *redAttempt) {
+	if att.computeEv != nil {
+		att.computeEv.Cancel()
+		s.eng.Remove(att.computeEv)
+		att.computeEv = nil
+	}
+	for _, src := range att.queue {
+		if b, ok := att.pendingSrc[src]; ok {
+			delete(att.pendingSrc, src)
+			s.releaseBucket(b)
+		}
+	}
+	for k := range att.pendingSrc {
+		delete(att.pendingSrc, k)
+	}
+	for k := range att.flights {
+		delete(att.flights, k)
+	}
+	for k := range att.got {
+		delete(att.got, k)
+	}
+	//lint:pooled redAttempt
+	att.r, att.run = nil, nil
+	att.node = 0
+	att.locality = 0
+	att.launch = 0
+	att.queue = att.queue[:0]
+	att.shuffled = 0
+	att.computing = false
+	att.computeStart = 0
+	att.computeDur = 0
+	att.failFrac = 0
+	att.dead = false
+	s.freeRedAtts = append(s.freeRedAtts, att)
+}
+
+func (s *Simulation) newBucket() *srcBucket {
+	if k := len(s.freeBuckets); k > 0 {
+		b := s.freeBuckets[k-1]
+		s.freeBuckets[k-1] = nil
+		s.freeBuckets = s.freeBuckets[:k-1]
+		return b
+	}
+	return &srcBucket{}
+}
+
+// releaseBucket recycles a shuffle source bucket. A bucket whose maps
+// slice was moved into a flight has maps == nil; one drained in place
+// keeps its storage.
+func (s *Simulation) releaseBucket(b *srcBucket) {
+	//lint:pooled srcBucket
+	b.bytes = 0
+	b.maps = b.maps[:0]
+	s.freeBuckets = append(s.freeBuckets, b)
+}
+
+// newFlight allocates an in-flight shuffle fetch bound to its attempt.
+// The completion callback is allocated once per pooled object: it
+// captures fl alone and reads the per-life fields at fire time.
+func (s *Simulation) newFlight(att *redAttempt) *flight {
+	var fl *flight
+	if k := len(s.freeFlights); k > 0 {
+		fl = s.freeFlights[k-1]
+		s.freeFlights[k-1] = nil
+		s.freeFlights = s.freeFlights[:k-1]
+	} else {
+		fl = &flight{}
+		fl.doneFn = func() {
+			att := fl.att
+			if att.dead {
+				return
+			}
+			r, run := att.r, att.run
+			delete(att.flights, fl.flow)
+			att.shuffled += fl.bytes
+			if r.Node == att.node {
+				r.ShuffledBytes = att.shuffled
+			}
+			s.topo.Net().Release(fl.flow)
+			s.releaseFlight(fl)
+			s.pumpShuffle(r, run, att)
+			s.maybeStartReduceCompute(r, run, att)
+		}
+	}
+	fl.att = att
+	return fl
+}
+
+// releaseFlight recycles a completed or aborted fetch flight. A flight
+// whose maps slice was re-queued into a bucket has maps == nil; a
+// normally completed one keeps its storage for the next life.
+func (s *Simulation) releaseFlight(fl *flight) {
+	//lint:pooled flight
+	fl.att = nil
+	fl.src = 0
+	fl.bytes = 0
+	fl.maps = fl.maps[:0]
+	fl.flow = nil
+	s.freeFlights = append(s.freeFlights, fl)
+}

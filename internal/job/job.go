@@ -351,6 +351,27 @@ func (j *Job) MapProgress() float64 {
 	return p / float64(len(j.Maps))
 }
 
+// HasPendingMaps reports whether any map task is not yet launched,
+// without materializing the slice PendingMaps would build.
+func (j *Job) HasPendingMaps() bool {
+	for _, m := range j.Maps {
+		if m.State == TaskPending {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPendingReduces reports whether any reduce task is not yet launched.
+func (j *Job) HasPendingReduces() bool {
+	for _, r := range j.Reduces {
+		if r.State == TaskPending {
+			return true
+		}
+	}
+	return false
+}
+
 // PendingMaps returns map tasks not yet launched.
 func (j *Job) PendingMaps() []*MapTask {
 	var out []*MapTask

@@ -12,7 +12,19 @@
 // on a struct field declaration marks the field as covered by the
 // epoch-invalidation contract: any function in the package that writes
 // the field must (directly or through intra-package calls) bump an
-// `epoch` counter, which the epochbump analyzer enforces.
+// `epoch` counter, which the epochbump analyzer enforces, and
+//
+//	//lint:pooled <Type>
+//
+// as a standalone comment inside a function body marks the function as
+// the free-list release site for struct type <Type>: the poolreset
+// analyzer requires it to reset every field of the type, except fields
+// whose declaration carries
+//
+//	//lint:pooled-keep
+//
+// marking state that deliberately persists across pooled lives (bound
+// callbacks, reusable map/slice storage).
 package directive
 
 import (
@@ -21,8 +33,10 @@ import (
 )
 
 const (
-	allowPrefix = "//lint:allow"
-	guardMarker = "//lint:epoch-guarded"
+	allowPrefix  = "//lint:allow"
+	guardMarker  = "//lint:epoch-guarded"
+	pooledPrefix = "//lint:pooled"
+	keepMarker   = "//lint:pooled-keep"
 )
 
 // ParseAllow extracts the analyzer names from a single comment line. It
@@ -91,4 +105,39 @@ func isGuardComment(text string) bool {
 		return false
 	}
 	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':'
+}
+
+// ParsePooled returns the type name of a //lint:pooled <Type> reset-site
+// marker, or "" when the comment is not one. The marker must start the
+// comment: prose that merely mentions the directive does not bind. A
+// bare "//lint:pooled" with no type name returns "" too (malformed, and
+// also how "//lint:pooled-keep" is excluded: '-' is not a separator).
+func ParsePooled(text string) string {
+	rest, ok := strings.CutPrefix(text, pooledPrefix)
+	if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return ""
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+// IsPooledKeep reports whether a struct field declaration carries the
+// //lint:pooled-keep marker in its doc comment or trailing line comment,
+// exempting the field from the poolreset full-reset requirement.
+func IsPooledKeep(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, keepMarker)
+			if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':') {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -10,6 +10,7 @@ import (
 	"mapsched/internal/lint/nodeterminism"
 	"mapsched/internal/lint/obsvocab"
 	"mapsched/internal/lint/optflag"
+	"mapsched/internal/lint/poolreset"
 )
 
 // Analyzers returns the full schedlint suite in a fixed order.
@@ -17,6 +18,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nodeterminism.Analyzer,
 		epochbump.Analyzer,
+		poolreset.Analyzer,
 		obsvocab.Analyzer,
 		optflag.Analyzer,
 	}

@@ -1,0 +1,12 @@
+package poolreset_test
+
+import (
+	"testing"
+
+	"mapsched/internal/lint/linttest"
+	"mapsched/internal/lint/poolreset"
+)
+
+func TestPoolreset(t *testing.T) {
+	linttest.Run(t, poolreset.Analyzer, "pool")
+}

@@ -1,0 +1,68 @@
+// Package pool exercises the poolreset analyzer: every //lint:pooled
+// release site must reset all fields of the named type, and free-list
+// appends outside a marked release site are reported.
+package pool
+
+type record struct {
+	id    int
+	buf   []byte
+	ready bool
+	items map[int]bool // cleared in place; storage persists
+	onFin func()       //lint:pooled-keep bound once, survives recycling
+}
+
+type pool struct {
+	freeRecords []*record
+	freeSlots   []int // not an object free list: plain values
+}
+
+// releaseFull resets every field individually; the delete loop counts as
+// the reset of the persistent map, and onFin is keep-exempt.
+func (p *pool) releaseFull(r *record) {
+	for k := range r.items {
+		delete(r.items, k)
+	}
+	//lint:pooled record
+	r.id = 0
+	r.buf = r.buf[:0]
+	r.ready = false
+	p.freeRecords = append(p.freeRecords, r)
+}
+
+// releaseWhole resets via a whole-struct store: all fields covered at
+// once, persistent state rethreaded explicitly.
+func (p *pool) releaseWhole(r *record) {
+	//lint:pooled record
+	*r = record{buf: r.buf[:0], items: r.items, onFin: r.onFin}
+	p.freeRecords = append(p.freeRecords, r)
+}
+
+// releasepartial forgets buf and the items map.
+func (p *pool) releasePartial(r *record) {
+	//lint:pooled record // want `pooled record release does not reset field\(s\) buf, items`
+	r.id = 0
+	r.ready = false
+	p.freeRecords = append(p.freeRecords, r)
+}
+
+// releaseUnmarked puts a record back without declaring itself a release
+// site, dodging the reset check.
+func (p *pool) releaseUnmarked(r *record) {
+	r.id = 0
+	p.freeRecords = append(p.freeRecords, r) // want `append to free list freeRecords in a function without a //lint:pooled reset marker`
+}
+
+// releaseTypo names a type that does not exist.
+func (p *pool) releaseTypo(r *record) {
+	//lint:pooled rekord // want `//lint:pooled names "rekord", which is not a type in this package`
+	r.id = 0
+	r.buf = nil
+	r.ready = false
+	p.freeRecords = append(p.freeRecords, r)
+}
+
+// trackSlot appends to a slice of plain ints whose name happens to start
+// with "free": not an object free list, no marker needed.
+func (p *pool) trackSlot(i int) {
+	p.freeSlots = append(p.freeSlots, i)
+}

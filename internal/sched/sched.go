@@ -15,8 +15,6 @@
 package sched
 
 import (
-	"sort"
-
 	"mapsched/internal/core"
 	"mapsched/internal/job"
 	"mapsched/internal/obs"
@@ -53,6 +51,12 @@ type Context struct {
 	// reduce tasks become schedulable (Hadoop's
 	// mapred.reduce.slowstart.completed.maps, default 0.05).
 	Slowstart float64
+
+	// jobBuf and keyBuf are orderJobs scratch, reused across offers when
+	// the engine reuses the Context object. Not for scheduler use: the
+	// slice returned by orderJobs is valid only until the next call.
+	jobBuf []*job.Job
+	keyBuf []int
 }
 
 // Scheduler decides task placements when a node offers free slots.
@@ -96,32 +100,46 @@ const (
 )
 
 // orderJobs returns ctx.Jobs sorted under the policy for the given kind,
-// considering only jobs that still have pending tasks of that kind.
+// considering only jobs that still have pending tasks of that kind. The
+// returned slice is Context scratch: valid until the next orderJobs call
+// on the same Context, never retained by schedulers. The fair-policy sort
+// is a stable insertion sort on per-job keys computed once — identical
+// ordering to a stable sort with a recomputing comparator, without the
+// comparator closure or the O(n log n) task-list rescans.
 func orderJobs(ctx *Context, policy JobPolicy, kind taskKind) []*job.Job {
-	out := make([]*job.Job, 0, len(ctx.Jobs))
+	out := ctx.jobBuf[:0]
 	for _, j := range ctx.Jobs {
 		switch kind {
 		case mapKind:
-			if len(j.PendingMaps()) > 0 {
+			if j.HasPendingMaps() {
 				out = append(out, j)
 			}
 		case reduceKind:
-			if len(j.PendingReduces()) > 0 && reduceEligible(ctx, j) {
+			if j.HasPendingReduces() && reduceEligible(ctx, j) {
 				out = append(out, j)
 			}
 		}
 	}
-	if policy == FIFOJobs {
+	ctx.jobBuf = out
+	if policy == FIFOJobs || len(out) < 2 {
 		return out // ctx.Jobs is already in submission order
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		ma, ra := out[a].RunningTasks()
-		mb, rb := out[b].RunningTasks()
+	keys := ctx.keyBuf[:0]
+	for _, j := range out {
+		m, r := j.RunningTasks()
 		if kind == mapKind {
-			return ma < mb
+			keys = append(keys, m)
+		} else {
+			keys = append(keys, r)
 		}
-		return ra < rb
-	})
+	}
+	ctx.keyBuf = keys
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && keys[k] < keys[k-1]; k-- {
+			keys[k], keys[k-1] = keys[k-1], keys[k]
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
 	return out
 }
 

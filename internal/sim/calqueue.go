@@ -1,0 +1,257 @@
+package sim
+
+import "math"
+
+// calendarQueue is a self-resizing calendar queue (Brown 1988): pending
+// events hash into buckets by ⌊at/width⌋ mod nb, and dequeue walks the
+// buckets like the days of a circular calendar, taking only events that
+// fall inside the current bucket's "year" window. With the width adapted
+// to the observed event spacing, push, pop, and remove are amortized O(1)
+// — versus O(log n) heap churn on the simulator's hot reschedule path.
+//
+// Determinism: the pop order is exactly the total order (at, seq), the
+// same as the reference heap — the FIFO tie-break is applied when scanning
+// a bucket, and equal timestamps always share a bucket. The
+// cross-implementation equivalence test in calqueue_test.go checks this
+// pop-for-pop on randomized schedules.
+//
+// Every boundary decision — bucket assignment, cursor rewind on push, and
+// scan acceptance — is made with the SAME expression, year(t) =
+// int64(t*invWidth). Mixing that with subtraction-based bounds like
+// curTop-width is unsound: for timestamps on an exact bucket boundary the
+// two float computations can disagree by one ulp, parking an event one
+// bucket behind the cursor and popping a later event first.
+//
+// Events with timestamps too large for bucket arithmetic (in particular
+// Infinity) live in an unordered overflow list that is only consulted when
+// the calendar proper is empty.
+type calendarQueue struct {
+	buckets  [][]*Event
+	mask     int     // len(buckets)-1; bucket count is a power of two
+	width    float64 // seconds per bucket
+	invWidth float64
+	cur      int   // bucket the dequeue scan is at; == int(curYear) & mask
+	curYear  int64 // year (bucket-width multiple) the scan is at
+	nmain    int   // events in buckets
+	overflow []*Event
+}
+
+const (
+	calMinBuckets = 8
+	// Timestamps at or beyond overflowYears bucket-widths overflow the
+	// int64 year arithmetic and are parked in the overflow list.
+	calOverflowYears = float64(1 << 62)
+)
+
+func newCalendarQueue() *calendarQueue {
+	q := &calendarQueue{width: 1, invWidth: 1}
+	q.buckets = make([][]*Event, calMinBuckets)
+	q.mask = calMinBuckets - 1
+	q.setCursor(0)
+	return q
+}
+
+// year maps a timestamp to its bucket-width multiple. This is the single
+// source of truth for all boundary decisions.
+func (q *calendarQueue) year(t float64) int64 {
+	return int64(t * q.invWidth)
+}
+
+// setCursor points the dequeue scan at the bucket containing time t.
+func (q *calendarQueue) setCursor(t float64) {
+	q.curYear = q.year(t)
+	q.cur = int(q.curYear) & q.mask
+}
+
+func (q *calendarQueue) len() int { return q.nmain + len(q.overflow) }
+
+func (q *calendarQueue) push(ev *Event) {
+	t := float64(ev.at)
+	if t*q.invWidth >= calOverflowYears {
+		ev.bucket = -2
+		ev.index = len(q.overflow)
+		q.overflow = append(q.overflow, ev)
+		return
+	}
+	y := q.year(t)
+	b := int(y) & q.mask
+	ev.bucket = b
+	ev.index = len(q.buckets[b])
+	q.buckets[b] = append(q.buckets[b], ev)
+	q.nmain++
+	if y < q.curYear {
+		// Earlier than the current scan window: rewind the cursor so the
+		// next dequeue finds it.
+		q.curYear = y
+		q.cur = b
+	}
+	if q.nmain > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+func (q *calendarQueue) popMin() *Event {
+	if q.nmain == 0 {
+		return q.popOverflowMin()
+	}
+	// Walk the calendar from the cursor, taking the earliest event that
+	// falls inside the advancing year window. Events with year == curYear
+	// are exactly the events of bucket cur's current window (events with
+	// earlier years cannot exist: pushes rewind the cursor, and the scan
+	// only advances past a bucket after emptying its window).
+	for i := 0; i <= q.mask; i++ {
+		b := q.buckets[q.cur]
+		best := -1
+		for j, ev := range b {
+			if q.year(float64(ev.at)) <= q.curYear && (best < 0 || eventLess(ev, b[best])) {
+				best = j
+			}
+		}
+		if best >= 0 {
+			return q.take(q.cur, best)
+		}
+		q.cur = (q.cur + 1) & q.mask
+		q.curYear++
+	}
+	// A full lap without a hit: the pending events are all far in the
+	// future. Fall back to a direct search and jump the cursor there.
+	bi, bj := -1, -1
+	var bestEv *Event
+	for i, b := range q.buckets {
+		for j, ev := range b {
+			if bestEv == nil || eventLess(ev, bestEv) {
+				bestEv, bi, bj = ev, i, j
+			}
+		}
+	}
+	q.setCursor(float64(bestEv.at))
+	return q.take(bi, bj)
+}
+
+// take swap-removes the event at bucket i slot j.
+func (q *calendarQueue) take(i, j int) *Event {
+	b := q.buckets[i]
+	ev := b[j]
+	last := len(b) - 1
+	b[j] = b[last]
+	b[j].index = j
+	b[last] = nil
+	q.buckets[i] = b[:last]
+	ev.index, ev.bucket = -1, -1
+	q.nmain--
+	if q.nmain < len(q.buckets)/2 && len(q.buckets) > calMinBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+	return ev
+}
+
+func (q *calendarQueue) popOverflowMin() *Event {
+	if len(q.overflow) == 0 {
+		return nil
+	}
+	best := 0
+	for j, ev := range q.overflow {
+		if eventLess(ev, q.overflow[best]) {
+			best = j
+		}
+	}
+	ev := q.overflow[best]
+	q.removeOverflow(best)
+	ev.index, ev.bucket = -1, -1
+	return ev
+}
+
+func (q *calendarQueue) removeOverflow(j int) {
+	last := len(q.overflow) - 1
+	q.overflow[j] = q.overflow[last]
+	q.overflow[j].index = j
+	q.overflow[last] = nil
+	q.overflow = q.overflow[:last]
+}
+
+func (q *calendarQueue) remove(ev *Event) bool {
+	if ev.bucket == -2 {
+		if ev.index < 0 || ev.index >= len(q.overflow) || q.overflow[ev.index] != ev {
+			return false
+		}
+		q.removeOverflow(ev.index)
+		ev.index, ev.bucket = -1, -1
+		return true
+	}
+	if ev.bucket < 0 || ev.bucket > q.mask {
+		return false
+	}
+	b := q.buckets[ev.bucket]
+	if ev.index < 0 || ev.index >= len(b) || b[ev.index] != ev {
+		return false
+	}
+	q.take(ev.bucket, ev.index)
+	return true
+}
+
+// resize rebuilds the calendar with nb buckets and a width re-estimated
+// from the current event spacing. Events keep their (at, seq) keys, so the
+// pop order is unaffected; only the bucket layout changes.
+func (q *calendarQueue) resize(nb int) {
+	all := make([]*Event, 0, q.nmain)
+	for _, b := range q.buckets {
+		all = append(all, b...)
+	}
+	q.width = q.estimateWidth(all)
+	q.invWidth = 1 / q.width
+	q.buckets = make([][]*Event, nb)
+	q.mask = nb - 1
+	q.nmain = 0
+	minAt := math.Inf(1)
+	for _, ev := range all {
+		if float64(ev.at) < minAt {
+			minAt = float64(ev.at)
+		}
+	}
+	if len(all) == 0 {
+		minAt = 0
+	}
+	q.setCursor(minAt)
+	for _, ev := range all {
+		q.push(ev)
+	}
+}
+
+// estimateWidth samples the queued events and returns a bucket width of a
+// few times their average timestamp spacing, so a year-window bucket scan
+// sees O(1) candidates. The sample stride is deterministic.
+func (q *calendarQueue) estimateWidth(all []*Event) float64 {
+	const maxSample = 64
+	if len(all) < 2 {
+		return q.width
+	}
+	stride := 1
+	if len(all) > maxSample {
+		stride = len(all) / maxSample
+	}
+	var sample []float64
+	for i := 0; i < len(all); i += stride {
+		sample = append(sample, float64(all[i].at))
+	}
+	if len(sample) < 2 {
+		return q.width
+	}
+	// Insertion sort: the sample is tiny.
+	for i := 1; i < len(sample); i++ {
+		for j := i; j > 0 && sample[j] < sample[j-1]; j-- {
+			sample[j], sample[j-1] = sample[j-1], sample[j]
+		}
+	}
+	span := sample[len(sample)-1] - sample[0]
+	if span <= 0 {
+		return q.width
+	}
+	// The sample spans roughly the whole queue, so span/len(all) is the
+	// average gap between adjacent queued events.
+	w := 3 * span / float64(len(all))
+	const minWidth = 1e-9
+	if w < minWidth {
+		w = minWidth
+	}
+	return w
+}

@@ -24,16 +24,36 @@ type Duration = float64
 const Infinity Time = Time(math.MaxFloat64)
 
 // Event is a scheduled callback. The zero value is inert.
+//
+// Lifetime: an *Event returned by Schedule or After belongs to the engine.
+// It may be read (At, Cancelled) and cancelled only until its callback runs
+// or it is dropped from the queue (Remove, or a cancelled event reaped by
+// Step); after that the engine recycles the object for a future Schedule
+// and any retained pointer is stale. Callers that need a durable handle
+// embed an Event value of their own and drive it with Reschedule/Remove —
+// such caller-owned events are never recycled by the engine.
 type Event struct {
 	at     Time
 	seq    uint64 // FIFO tie-break for equal timestamps
 	fn     func()
-	index  int // heap index; -1 when not queued
+	index  int // position in the heap / calendar bucket; -1 when not queued
+	bucket int // calendar bucket; -1 when not queued, -2 in overflow
 	cancel bool
+	pooled bool // engine-owned: recycled after firing or removal
 }
+
+// UnqueuedEvent returns an Event value initialized as not-queued, ready
+// for embedding in a caller-owned structure and driving with Reschedule.
+// (The zero Event works too, but its queued-state fields only become
+// meaningful after the first Reschedule.)
+func UnqueuedEvent() Event { return Event{index: -1, bucket: -1} }
 
 // At returns the simulated time the event fires at.
 func (e *Event) At() Time { return e.at }
+
+// Queued reports whether the event is currently in an engine's queue.
+// Meaningful only for events initialized via engine APIs or UnqueuedEvent.
+func (e *Event) Queued() bool { return e.index >= 0 }
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancel }
@@ -42,30 +62,43 @@ func (e *Event) Cancelled() bool { return e.cancel }
 // that already fired or was already cancelled is a no-op.
 func (e *Event) Cancel() { e.cancel = true }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is the pending-event set. Pop order is the total order
+// (at, seq) ascending, so every implementation is pop-for-pop identical;
+// cancelled events stay queued (and counted) until popped or removed.
+type eventQueue interface {
+	push(ev *Event)
+	popMin() *Event // earliest (at, seq) event, nil if empty
+	remove(ev *Event) bool
+	len() int
 }
 
-func (h eventHeap) Swap(i, j int) {
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapQueue is the classic container/heap implementation, kept behind
+// QueueHeap as the reference the calendar queue is equivalence-tested
+// against.
+type heapQueue []*Event
+
+func (h heapQueue) Len() int           { return len(h) }
+func (h heapQueue) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+func (h heapQueue) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
+func (h *heapQueue) Push(x any) {
 	e := x.(*Event)
 	e.index = len(*h)
 	*h = append(*h, e)
 }
 
-func (h *eventHeap) Pop() any {
+func (h *heapQueue) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
@@ -75,19 +108,64 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+func (h *heapQueue) push(ev *Event) { heap.Push(h, ev) }
+
+func (h *heapQueue) popMin() *Event {
+	if len(*h) == 0 {
+		return nil
+	}
+	return heap.Pop(h).(*Event)
+}
+
+func (h *heapQueue) remove(ev *Event) bool {
+	if ev.index < 0 || ev.index >= len(*h) || (*h)[ev.index] != ev {
+		return false
+	}
+	heap.Remove(h, ev.index)
+	return true
+}
+
+func (h *heapQueue) len() int { return len(*h) }
+
+// QueueKind selects the pending-event set implementation.
+type QueueKind int
+
+const (
+	// QueueCalendar is the default: a self-resizing calendar queue with
+	// amortized O(1) push/pop on the simulator's clustered timestamps.
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the container/heap reference implementation.
+	QueueHeap
+)
+
 // Engine is a discrete-event simulator. Create one with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   eventQueue
 	seq     uint64
 	fired   uint64 // events executed (for diagnostics and loop guards)
 	limit   uint64 // safety cap on executed events; 0 means unlimited
 	running bool
+	free    []*Event // recycled engine-owned events
+	commits []func() // run after each dispatched callback returns
 }
 
-// NewEngine returns an engine with the clock at 0.
-func NewEngine() *Engine {
-	return &Engine{}
+// NewEngine returns an engine with the clock at 0, using the calendar
+// event queue.
+func NewEngine() *Engine { return NewEngineWithQueue(QueueCalendar) }
+
+// NewEngineWithQueue returns an engine using the given queue implementation.
+// Decision streams are bit-identical across kinds; QueueHeap exists as the
+// cross-implementation reference and escape hatch.
+func NewEngineWithQueue(k QueueKind) *Engine {
+	e := &Engine{}
+	switch k {
+	case QueueHeap:
+		e.queue = &heapQueue{}
+	default:
+		e.queue = newCalendarQueue()
+	}
+	return e
 }
 
 // Now returns the current simulated time.
@@ -101,11 +179,31 @@ func (e *Engine) Fired() uint64 { return e.fired }
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
 
 // Pending returns the number of events currently queued (including
-// cancelled events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// cancelled events that have not yet been discarded). Commit hooks run
+// first so that work deferred within the current instant — e.g. flow
+// completions awaiting a coalesced rate recompute — is counted.
+func (e *Engine) Pending() int {
+	for _, c := range e.commits {
+		c()
+	}
+	return e.queue.len()
+}
+
+// AddCommitHook registers fn to run after every dispatched event callback
+// returns, still at the callback's timestamp. Deferred work that must
+// complete before the clock can advance — coalesced flow-rate recomputes,
+// batched observability emission — hangs off this hook. Hooks run in
+// registration order and must not unregister.
+func (e *Engine) AddCommitHook(fn func()) {
+	if fn == nil {
+		panic("sim: nil commit hook")
+	}
+	e.commits = append(e.commits, fn)
+}
 
 // Schedule queues fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it is always a logic error in a causal simulation.
+// The returned event is engine-owned (see Event lifetime).
 func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
@@ -113,9 +211,19 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	ev.index, ev.bucket = -1, -1
+	ev.cancel, ev.pooled = false, true
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -124,29 +232,122 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 	return e.Schedule(e.now+Time(d), fn)
 }
 
+// Reschedule (re)queues the caller-owned event ev to fire fn at absolute
+// time at, removing it from the queue first if currently pending and
+// clearing any cancellation. It allocates nothing: hot paths embed an
+// Event value and move it instead of scheduling fresh events. The event
+// gets a new FIFO sequence number, exactly as if it had been cancelled and
+// scheduled anew. Engine-owned events (returned by Schedule/After) must
+// not be passed here.
+func (e *Engine) Reschedule(ev *Event, at Time, fn func()) {
+	e.RescheduleSeq(ev, at, e.seq, fn)
+	e.seq++
+}
+
+// ReserveSeq consumes and returns the next FIFO sequence number without
+// queueing anything. Callers that defer a Reschedule — e.g. the flow
+// network's coalesced completion-event maintenance — reserve the sequence
+// number at the moment non-deferred code would have called Reschedule,
+// then apply it later with RescheduleSeq. Both the deferred event's
+// same-instant tie-breaks and the numbering of every subsequently
+// scheduled event then match the non-deferred execution exactly.
+func (e *Engine) ReserveSeq() uint64 {
+	s := e.seq
+	e.seq++
+	return s
+}
+
+// RescheduleSeq is Reschedule with an explicit FIFO sequence number,
+// previously obtained from ReserveSeq; it does not consume a fresh one.
+// Reusing a seq for two simultaneously queued events breaks the total
+// order, so each reservation must be applied at most once.
+func (e *Engine) RescheduleSeq(ev *Event, at Time, seq uint64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: reschedule with nil callback")
+	}
+	if ev.pooled {
+		panic("sim: reschedule of an engine-owned event")
+	}
+	e.queue.remove(ev)
+	ev.at, ev.seq, ev.fn = at, seq, fn
+	ev.cancel = false
+	e.queue.push(ev)
+}
+
 // Remove drops ev from the queue immediately (stronger than Cancel, which
-// leaves the event queued but inert). Removing an unqueued event is a no-op.
+// leaves the event queued but inert). Removing an unqueued event is a
+// no-op. An engine-owned event is recycled by Remove; the caller must drop
+// its pointer.
 func (e *Engine) Remove(ev *Event) {
-	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+	if ev == nil {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	if e.queue.remove(ev) && ev.pooled {
+		e.recycle(ev)
+	}
+}
+
+// recycle resets a detached engine-owned event and returns it to the free
+// list. The whole object is cleared: stale callbacks or cancel flags must
+// never leak into the event's next life.
+func (e *Engine) recycle(ev *Event) {
+	//lint:pooled Event
+	*ev = Event{index: -1, bucket: -1}
+	e.free = append(e.free, ev)
+}
+
+// popLive pops the earliest pending event that has not been cancelled,
+// reaping (and recycling) cancelled events along the way.
+func (e *Engine) popLive() *Event {
+	for {
+		ev := e.queue.popMin()
+		if ev == nil {
+			return nil
+		}
+		if !ev.cancel {
+			return ev
+		}
+		if ev.pooled {
+			e.recycle(ev)
+		}
+	}
+}
+
+// dispatch advances the clock to ev, runs its callback, and then the
+// commit hooks. Engine-owned events are recycled once the callback
+// returns; by then every holder of the pointer has dropped it (the
+// callback contract).
+func (e *Engine) dispatch(ev *Event) {
+	e.now = ev.at
+	e.fired++
+	fn := ev.fn
+	if ev.pooled {
+		e.recycle(ev)
+	}
+	fn()
+	for _, c := range e.commits {
+		c()
+	}
 }
 
 // Step executes the single earliest pending event, skipping cancelled
-// events. It reports whether an event ran.
+// events. It reports whether an event ran. Commit hooks run before the
+// pop: work deferred by calls made outside any event dispatch (e.g. flows
+// started before the run) must materialize before the next event is
+// chosen.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-		return true
+	for _, c := range e.commits {
+		c()
 	}
-	return false
+	ev := e.popLive()
+	if ev == nil {
+		return false
+	}
+	e.dispatch(ev)
+	return true
 }
 
 // Run executes events until the queue drains or the clock passes until.
@@ -158,20 +359,29 @@ func (e *Engine) Run(until Time) (Time, error) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		next := e.peek()
+	// Materialize work deferred by calls made before the run (commit hooks
+	// also run after every dispatch, so mid-run the queue is always
+	// current).
+	for _, c := range e.commits {
+		c()
+	}
+	for {
+		next := e.popLive()
 		if next == nil {
 			break
 		}
 		if next.at > until {
+			// Too early to fire: put it back untouched (same seq, so the
+			// FIFO order is preserved) and stop.
+			e.queue.push(next)
 			break
 		}
-		e.Step()
+		e.dispatch(next)
 		if e.limit > 0 && e.fired > e.limit {
 			return e.now, fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
 		}
 	}
-	if until < Infinity && e.now < until && len(e.queue) == 0 {
+	if until < Infinity && e.now < until && e.queue.len() == 0 {
 		// Advance the clock to the horizon so periodic processes resumed
 		// by the caller observe a consistent notion of "now".
 		e.now = until
@@ -181,16 +391,3 @@ func (e *Engine) Run(until Time) (Time, error) {
 
 // RunAll executes events until the queue drains.
 func (e *Engine) RunAll() (Time, error) { return e.Run(Infinity) }
-
-// peek returns the earliest live event without removing it, discarding
-// cancelled events it encounters along the way.
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.cancel {
-			return ev
-		}
-		heap.Pop(&e.queue)
-	}
-	return nil
-}

@@ -12,19 +12,40 @@ import (
 // LinkID identifies a directed link in a FlowNet.
 type LinkID int
 
+// flowKind distinguishes how a Flow completes.
+type flowKind uint8
+
+const (
+	flowNet   flowKind = iota // attached to links, max-min shared
+	flowZero                  // zero-byte transfer: completes next event cycle
+	flowLocal                 // same-node disk read: fixed rate, no links
+)
+
 // Flow is a data transfer in progress. Exposed so callers can cancel
 // persistent background flows; regular transfers complete on their own.
+//
+// Flow objects are pooled — see FlowNet.Release and maybeRecycle.
 type Flow struct {
-	id         int64 // creation order; makes event scheduling deterministic
-	links      []LinkID
-	total      float64 // original size in bytes
-	remaining  float64 // bytes left; NaN-free, >= 0
-	rate       float64 // current max-min share, bytes/second
+	id         int64    // creation order; makes event scheduling deterministic
+	links      []LinkID // owned copy of the path; storage reused across lives
+	total      float64  // original size in bytes
+	remaining  float64  // bytes left; NaN-free, >= 0
+	rate       float64  // current max-min share, bytes/second
 	lastUpdate sim.Time
 	done       func()
-	doneEv     *sim.Event
+	doneEv     sim.Event // embedded completion event, rescheduled in place
+	finishFn   func()    // bound once per object; survives pool reuse
+	net        *FlowNet
+	kind       flowKind
 	persistent bool
 	finished   bool
+
+	// Pool/emission state.
+	inLive       bool   // referenced by liveList (tombstoned until compacted)
+	released     bool   // owner dropped its reference; recycle when safe
+	pendingStart bool   // flow_start emission deferred to the next flush
+	resched      bool   // queued for completion-event maintenance at flush
+	doneSeq      uint64 // FIFO seq reserved at churn time for the deferred Reschedule
 
 	slots  []int   // position of this flow in each path link's flow list
 	next   float64 // scratch rate assigned by the current filling pass
@@ -38,7 +59,8 @@ type Flow struct {
 	announced bool
 }
 
-// Rate returns the flow's current bandwidth share in bytes/second.
+// Rate returns the flow's current bandwidth share in bytes/second. Shares
+// are recomputed eagerly at every churn, so the field is always current.
 func (f *Flow) Rate() float64 { return f.rate }
 
 // Remaining returns the bytes left to transfer as of the last rate change.
@@ -58,10 +80,17 @@ type link struct {
 
 // FlowNet is a flow-level network simulator: each active flow receives a
 // max-min fair share of the capacity of every directed link on its path.
-// Shares are recomputed whenever a flow starts or ends; by default only
-// the connected component of flows sharing links with the churned flow is
-// refilled (an exact decomposition of max-min fairness), with a fallback
-// to a full recompute when the component covers most of the live flows.
+//
+// Shares are recomputed eagerly at every churn (flow start, finish,
+// cancel, capacity change) — the settle arithmetic that charges progress
+// at the old rate is float-associative-sensitive, so running the solver
+// per churn keeps decision streams bit-identical with pre-optimization
+// builds. What IS coalesced, per simulated instant, is everything the
+// solver's results feed: completion-event queue maintenance (a flow whose
+// share changes k times within one instant gets one Reschedule, not k
+// cancel/reschedule round-trips — this was ~93% of all queue traffic) and
+// flow_start/flow_rate observability emissions, both batched into the
+// engine's commit hook at the end of the dispatching event.
 type FlowNet struct {
 	eng   *sim.Engine
 	links []link
@@ -73,15 +102,29 @@ type FlowNet struct {
 	liveCount int
 	alpha     float64 //lint:epoch-guarded congestion inefficiency scales every effective capacity; see Spec.CongestionAlpha
 
-	// epoch counts rate recomputations. Any quantity derived from link
-	// occupancy or flow rates (ProspectiveRate, PathRate) is constant
-	// between epochs, which lets higher layers cache derived costs with
-	// exact invalidation.
+	// epoch counts observable rate/occupancy changes. Any quantity derived
+	// from link occupancy or flow rates (ProspectiveRate, PathRate) is
+	// constant between epochs, which lets higher layers cache derived
+	// costs with exact invalidation.
 	epoch uint64
 
 	forceFull bool  // disable the incremental path (testing / comparison)
+	eager     bool  // per-churn queue ops and emissions, pre-coalescing style (testing)
 	fullRecs  int64 // full progressive-filling passes
 	incRecs   int64 // component-local passes (avoided full recomputes)
+
+	// Coalescing state: flows whose completion event must be rescheduled
+	// (or parked) for the current instant, and flows whose flow_start
+	// emission is deferred until their first share is known.
+	pendingResched []*Flow
+	pendingStarts  []*Flow
+
+	// freeFlows recycles Flow objects. A flow is recycled only once it is
+	// finished, its owner has Released it, no liveList tombstone remains,
+	// its completion event is off the queue, and no deferred maintenance
+	// or emission mentions it — so a stale pointer can never observe or
+	// cancel another transfer's state.
+	freeFlows []*Flow
 
 	// Reusable scratch state, sized to len(links).
 	remCap    []float64
@@ -101,9 +144,13 @@ type FlowNet struct {
 	obs *obs.Stream
 }
 
-// NewFlowNet returns an empty network bound to eng.
+// NewFlowNet returns an empty network bound to eng. Deferred completion
+// rescheduling and emission batches ride eng's commit hook, firing at the
+// end of each dispatched event.
 func NewFlowNet(eng *sim.Engine) *FlowNet {
-	return &FlowNet{eng: eng}
+	n := &FlowNet{eng: eng}
+	eng.AddCommitHook(n.Flush)
+	return n
 }
 
 // SetCongestionAlpha sets the goodput-degradation coefficient: a link
@@ -119,7 +166,7 @@ func (n *FlowNet) SetCongestionAlpha(alpha float64) {
 		return
 	}
 	n.alpha = alpha
-	n.recompute(nil)
+	n.mark(nil)
 }
 
 // SetStream attaches the observability stream flow events are emitted
@@ -156,6 +203,16 @@ func (n *FlowNet) flowEvent(t obs.Type, f *Flow, withLinks bool, reason string) 
 // running full progressive filling on every churn. Used by equivalence
 // tests and benchmarks comparing the two paths.
 func (n *FlowNet) SetForceFullRecompute(force bool) { n.forceFull = force }
+
+// SetEagerRecompute disables per-instant coalescing of completion-event
+// maintenance and emissions: every fill performs its queue operations and
+// flow_rate/flow_start emissions inline, exactly the pre-coalescing
+// behavior. Used by equivalence tests proving the coalesced path leaves
+// decision streams bit-identical.
+func (n *FlowNet) SetEagerRecompute(eager bool) {
+	n.Flush()
+	n.eager = eager
+}
 
 // Epoch returns the rate-recomputation counter. Between equal epochs no
 // link occupancy or flow rate has changed, so path-rate observations are
@@ -204,7 +261,7 @@ func (n *FlowNet) SetLinkCapacity(l LinkID, capacity float64) {
 		return
 	}
 	n.links[l].capacity = capacity
-	n.recompute(nil)
+	n.mark(nil)
 }
 
 // LinkCapacity returns a link's current capacity (bytes/second).
@@ -222,6 +279,59 @@ func (n *FlowNet) Completed() int64 { return n.completed }
 // BytesDelivered returns total bytes carried by completed flows.
 func (n *FlowNet) BytesDelivered() float64 { return n.bytesDone }
 
+// allocFlow returns a reset Flow (from the pool when possible) with a
+// fresh creation id, its completion callback bound, and the path copied
+// into owned storage.
+func (n *FlowNet) allocFlow(src, dst NodeID, path []LinkID) *Flow {
+	var f *Flow
+	if k := len(n.freeFlows); k > 0 {
+		f = n.freeFlows[k-1]
+		n.freeFlows[k-1] = nil
+		n.freeFlows = n.freeFlows[:k-1]
+	} else {
+		f = &Flow{net: n}
+		f.doneEv = sim.UnqueuedEvent()
+		ff := f
+		f.finishFn = func() { ff.net.fire(ff) }
+	}
+	f.id = n.started
+	n.started++
+	f.links = append(f.links[:0], path...)
+	f.lastUpdate = n.eng.Now()
+	f.src, f.dst = src, dst
+	return f
+}
+
+// Release tells the network the caller holds no more references to f and
+// will never touch it again: once every other condition clears (flow
+// finished, liveList tombstone compacted, completion event off the
+// queue) the object is recycled into a future transfer. Calling Release
+// on an unfinished flow is a contract violation and is ignored; not
+// calling it merely forgoes reuse.
+func (n *FlowNet) Release(f *Flow) {
+	if f == nil || !f.finished || f.released {
+		return
+	}
+	f.released = true
+	n.maybeRecycle(f)
+}
+
+// maybeRecycle returns f to the pool when no reference to it can remain:
+// the owner released it, it is off the liveList, its completion event is
+// not queued, and no deferred maintenance or emission mentions it. The
+// reset clears every field — a recycled flow must carry nothing of its
+// previous life.
+func (n *FlowNet) maybeRecycle(f *Flow) {
+	if !f.released || !f.finished || f.inLive || f.pendingStart || f.resched || f.doneEv.Queued() {
+		return
+	}
+	links, slots, finishFn, net := f.links[:0], f.slots[:0], f.finishFn, f.net
+	//lint:pooled Flow
+	*f = Flow{net: net, links: links, slots: slots, finishFn: finishFn}
+	f.doneEv = sim.UnqueuedEvent()
+	n.freeFlows = append(n.freeFlows, f)
+}
+
 // StartFlow begins transferring bytes across the given path and calls done
 // (if non-nil) at completion. Zero or negative sizes complete immediately
 // via a zero-delay event so callbacks still run in event order.
@@ -236,30 +346,31 @@ func (n *FlowNet) StartFlowBetween(src, dst NodeID, path []LinkID, bytes float64
 	if len(path) == 0 {
 		panic("topology: StartFlow with empty path; use LocalTransfer")
 	}
-	f := &Flow{id: n.started, links: path, total: bytes, remaining: bytes, done: done, lastUpdate: n.eng.Now(), src: src, dst: dst}
-	n.started++
+	f := n.allocFlow(src, dst, path)
+	f.total, f.remaining, f.done = bytes, bytes, done
 	if bytes <= 0 {
+		f.kind = flowZero
 		f.finished = true
 		n.completed++
 		if n.obs.Enabled() {
 			n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
 		}
-		n.eng.After(0, func() {
-			if n.obs.Enabled() {
-				n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, ""))
-			}
-			if done != nil {
-				done()
-			}
-		})
+		f.announced = true
+		n.eng.Reschedule(&f.doneEv, n.eng.Now(), f.finishFn)
 		return f
 	}
+	f.kind = flowNet
 	n.attach(f)
-	n.recompute(f)
-	if n.obs.Enabled() {
-		n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+	n.mark(f)
+	if n.eager {
+		if n.obs.Enabled() {
+			n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+		}
+		f.announced = true
+	} else {
+		f.pendingStart = true
+		n.pendingStarts = append(n.pendingStarts, f)
 	}
-	f.announced = true
 	return f
 }
 
@@ -272,14 +383,21 @@ func (n *FlowNet) StartPersistentFlow(path []LinkID) *Flow {
 // StartPersistentFlowBetween is StartPersistentFlow with node endpoints
 // attached for observability.
 func (n *FlowNet) StartPersistentFlowBetween(src, dst NodeID, path []LinkID) *Flow {
-	f := &Flow{id: n.started, links: path, remaining: math.Inf(1), persistent: true, lastUpdate: n.eng.Now(), src: src, dst: dst}
-	n.started++
+	f := n.allocFlow(src, dst, path)
+	f.kind = flowNet
+	f.remaining = math.Inf(1)
+	f.persistent = true
 	n.attach(f)
-	n.recompute(f)
-	if n.obs.Enabled() {
-		n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+	n.mark(f)
+	if n.eager {
+		if n.obs.Enabled() {
+			n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+		}
+		f.announced = true
+	} else {
+		f.pendingStart = true
+		n.pendingStarts = append(n.pendingStarts, f)
 	}
-	f.announced = true
 	return f
 }
 
@@ -298,23 +416,15 @@ func (n *FlowNet) LocalTransferAt(node NodeID, bytes, diskBps float64, done func
 	if bytes < 0 {
 		bytes = 0
 	}
-	f := &Flow{total: bytes, remaining: bytes, rate: diskBps, lastUpdate: n.eng.Now(), src: node, dst: node}
-	n.started++
+	f := n.allocFlow(node, node, nil)
+	f.kind = flowLocal
+	f.total, f.remaining, f.done = bytes, bytes, done
+	f.rate = diskBps
 	if n.obs.Enabled() {
 		n.obs.Emit(n.flowEvent(obs.FlowStart, f, false, "local"))
 	}
-	n.eng.After(bytes/diskBps, func() {
-		f.finished = true
-		f.remaining = 0
-		n.completed++
-		n.bytesDone += bytes
-		if n.obs.Enabled() {
-			n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, "local"))
-		}
-		if done != nil {
-			done()
-		}
-	})
+	f.announced = true
+	n.eng.Reschedule(&f.doneEv, n.eng.Now()+sim.Time(bytes/diskBps), f.finishFn)
 	return f
 }
 
@@ -324,23 +434,60 @@ func (n *FlowNet) Cancel(f *Flow) {
 	if f == nil || f.finished {
 		return
 	}
+	if f.kind == flowLocal {
+		// Local reads never touched the shared network: stop the clock and
+		// the completion event, nothing to re-share.
+		n.settle(f)
+		f.finished = true
+		n.eng.Remove(&f.doneEv)
+		if n.obs.Enabled() {
+			n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, "cancel"))
+		}
+		n.maybeRecycle(f)
+		return
+	}
 	n.settle(f)
 	f.finished = true
 	n.detach(f)
-	n.recompute(f)
+	n.mark(f)
 	if n.obs.Enabled() {
+		// A flow cancelled in its start instant has its start emission
+		// still deferred; emit it first so the stream stays well-formed.
+		if f.pendingStart {
+			n.emitPendingStart(f)
+		}
 		n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, "cancel"))
+	}
+}
+
+// emitPendingStart emits f's deferred flow_start immediately and removes
+// it from the pending list. Only used on the rare cancel-in-start-instant
+// path; normal starts are emitted in batch by Flush.
+func (n *FlowNet) emitPendingStart(f *Flow) {
+	n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+	f.announced = true
+	f.pendingStart = false
+	for i, p := range n.pendingStarts {
+		if p == f {
+			n.pendingStarts = append(n.pendingStarts[:i], n.pendingStarts[i+1:]...)
+			break
+		}
 	}
 }
 
 // attach registers f on every link of its path and in the live list.
 func (n *FlowNet) attach(f *Flow) {
-	f.slots = make([]int, len(f.links))
+	if cap(f.slots) < len(f.links) {
+		f.slots = make([]int, len(f.links))
+	} else {
+		f.slots = f.slots[:len(f.links)]
+	}
 	for i, l := range f.links {
 		f.slots[i] = len(n.links[l].flows)
 		n.links[l].flows = append(n.links[l].flows, f)
 	}
 	n.liveList = append(n.liveList, f)
+	f.inLive = true
 	n.liveCount++
 }
 
@@ -365,22 +512,22 @@ func (n *FlowNet) detach(f *Flow) {
 		n.links[l].flows = fl[:last]
 	}
 	n.liveCount--
-	if f.doneEv != nil {
-		f.doneEv.Cancel()
-		n.eng.Remove(f.doneEv)
-		f.doneEv = nil
-	}
+	n.eng.Remove(&f.doneEv)
 }
 
 // compactLive drops tombstoned (finished) flows from the live list,
-// preserving creation order.
+// preserving creation order, and recycles the ones whose owners already
+// released them.
 func (n *FlowNet) compactLive() {
 	w := 0
 	for _, f := range n.liveList {
 		if !f.finished {
 			n.liveList[w] = f
 			w++
+			continue
 		}
+		f.inLive = false
+		n.maybeRecycle(f)
 	}
 	for i := w; i < len(n.liveList); i++ {
 		n.liveList[i] = nil
@@ -405,14 +552,89 @@ func (n *FlowNet) settle(f *Flow) {
 	f.lastUpdate = now
 }
 
+// mark records churn around seed (nil = a global change such as capacity
+// or alpha), bumps the epoch, and reruns the share solver immediately.
+// Only the solver's downstream effects — completion-event queue traffic
+// and emissions — are deferred to the end of the instant; the rates and
+// settlement arithmetic happen per churn, exactly as pre-coalescing
+// builds, which is what keeps decision streams bit-identical.
+func (n *FlowNet) mark(seed *Flow) {
+	n.epoch++
+	n.recompute(seed)
+}
+
+// Flush materializes the deferred per-instant work: one completion-event
+// reschedule (or park) per touched flow, then the batch of deferred
+// flow_start emissions. It is the engine's commit hook, running at the
+// end of every dispatched event.
+func (n *FlowNet) Flush() {
+	if len(n.pendingResched) > 0 {
+		n.flushResched()
+	}
+
+	// Announce the flows born this instant, in creation order, now that
+	// their first share is known.
+	if len(n.pendingStarts) > 0 {
+		emit := n.obs.Enabled()
+		for i, f := range n.pendingStarts {
+			if emit {
+				n.obs.Emit(n.flowEvent(obs.FlowStart, f, true, ""))
+			}
+			f.announced = true
+			f.pendingStart = false
+			n.pendingStarts[i] = nil
+			n.maybeRecycle(f)
+		}
+		n.pendingStarts = n.pendingStarts[:0]
+	}
+}
+
+// flushResched performs the coalesced completion-event maintenance: every
+// flow whose share changed this instant gets exactly one queue operation,
+// against its final rate but with the FIFO seq reserved at its last churn
+// (see fill) — so same-instant tie-breaks are bit-identical to the eager
+// per-churn Reschedule stream. The creation-id sort only fixes the order
+// of the flow_rate emissions, which carry no seq of their own.
+func (n *FlowNet) flushResched() {
+	pend := n.pendingResched
+	// Insertion sort by id: fills append in id order, so the list is
+	// nearly sorted already and this is cheaper than sort.Slice.
+	for i := 1; i < len(pend); i++ {
+		for j := i; j > 0 && pend[j].id < pend[j-1].id; j-- {
+			pend[j], pend[j-1] = pend[j-1], pend[j]
+		}
+	}
+	emit := n.obs.Enabled()
+	now := n.eng.Now()
+	for i, f := range pend {
+		pend[i] = nil
+		f.resched = false
+		if f.finished {
+			// Finished or cancelled later in the same instant; its event is
+			// already off the queue.
+			n.maybeRecycle(f)
+			continue
+		}
+		if emit && f.announced && !f.pendingStart {
+			n.obs.Emit(n.flowEvent(obs.FlowRate, f, false, ""))
+		}
+		if f.persistent {
+			continue
+		}
+		if f.rate <= 0 {
+			// Park the completion until contention clears.
+			n.eng.Remove(&f.doneEv)
+			continue
+		}
+		n.eng.RescheduleSeq(&f.doneEv, now+sim.Time(f.remaining/f.rate), f.doneSeq, f.finishFn)
+	}
+	n.pendingResched = pend[:0]
+}
+
 // recompute refreshes max-min fair shares after seed started or departed.
-// Progressive filling decomposes exactly over connected components of the
-// flow/link sharing graph, so only the component reachable from seed's
-// path needs refilling; flows outside it keep their (unchanged) shares.
 // A nil seed, a forced-full configuration, or a component covering most of
 // the live flows falls back to a full pass over every loaded link.
 func (n *FlowNet) recompute(seed *Flow) {
-	n.epoch++
 	if n.liveCount == 0 {
 		n.compactLive()
 		return
@@ -492,12 +714,12 @@ func (n *FlowNet) fullRecompute() {
 
 // fill runs progressive filling (max-min fairness) over the given flows,
 // whose link usage is exactly covered by links (ascending order), then
-// reschedules the completion event of every flow whose share changed.
-// Flows whose share is unchanged are left entirely alone: their pending
-// event already fires at the correct absolute time, so skipping the
-// settle/cancel/reschedule cycle saves the bulk of the heap traffic.
-// Flows are handled in creation order so that simultaneous completions
-// fire in a deterministic sequence.
+// settles every flow whose share changed and records it for the coalesced
+// completion-event maintenance at instant end (or, in eager mode,
+// reschedules it inline). Flows whose share is unchanged are left entirely
+// alone: their pending event already fires at the correct absolute time.
+// Flows are handled in creation order so simultaneous completions fire in
+// a deterministic sequence. The fill loop allocates nothing.
 func (n *FlowNet) fill(links []int, flows []*Flow) {
 	for _, l := range links {
 		n.cnt[l] = len(n.links[l].flows)
@@ -559,36 +781,84 @@ func (n *FlowNet) fill(links []int, flows []*Flow) {
 		}
 	}
 
-	// Apply changed shares: settle progress under the old rate, then
-	// reschedule the completion under the new one. Physically remove stale
-	// events so long shuffle phases do not bloat the event heap.
+	// Apply changed shares: settle progress under the old rate, then hand
+	// the flow to the coalesced per-instant maintenance (one queue
+	// operation per flow per instant, against its final rate). The settle
+	// runs here, per fill, because charging progress is float-sensitive to
+	// grouping: regrouping the decrements would drift completion times by
+	// an ulp and break bit-identity with pre-coalescing builds.
 	emit := n.obs.Enabled()
+	now := n.eng.Now()
 	for _, f := range flows {
 		if f.next == f.rate {
 			continue
 		}
 		n.settle(f)
 		f.rate = f.next
+		if !n.eager {
+			if !f.resched {
+				f.resched = true
+				n.pendingResched = append(n.pendingResched, f)
+			}
+			// Reserve the completion event's FIFO slot now — at the exact
+			// point the eager path calls Reschedule — even though the
+			// queue operation is deferred to flushResched. Same-instant
+			// ties (two flows completing together, or a completion tying
+			// with an event scheduled later in this dispatch) and the seq
+			// numbering of everything scheduled after this churn then
+			// match the eager stream bit-for-bit. A later churn in the
+			// same instant overwrites the reservation, exactly as eager's
+			// re-Reschedule would assign a fresh seq.
+			if !f.persistent && f.rate > 0 {
+				f.doneSeq = n.eng.ReserveSeq()
+			}
+			continue
+		}
 		if emit && f.announced {
 			n.obs.Emit(n.flowEvent(obs.FlowRate, f, false, ""))
-		}
-		if f.doneEv != nil {
-			f.doneEv.Cancel()
-			n.eng.Remove(f.doneEv)
-			f.doneEv = nil
 		}
 		if f.persistent {
 			continue
 		}
 		if f.rate <= 0 {
-			continue // will be rescheduled when contention clears
+			n.eng.Remove(&f.doneEv)
+			continue
 		}
-		ff := f
-		f.doneEv = n.eng.After(f.remaining/f.rate, func() { n.finish(ff) })
+		n.eng.Reschedule(&f.doneEv, now+sim.Time(f.remaining/f.rate), f.finishFn)
 	}
 }
 
-// finish completes a flow and triggers its callback.
+// fire dispatches a flow's completion event according to its kind.
+func (n *FlowNet) fire(f *Flow) {
+	switch f.kind {
+	case flowZero:
+		// Counted complete at creation; only the emission and callback
+		// were deferred to the next event cycle.
+		if n.obs.Enabled() {
+			n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, ""))
+		}
+		if f.done != nil {
+			f.done()
+		}
+		n.maybeRecycle(f)
+	case flowLocal:
+		f.finished = true
+		f.remaining = 0
+		n.completed++
+		n.bytesDone += f.total
+		if n.obs.Enabled() {
+			n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, "local"))
+		}
+		if f.done != nil {
+			f.done()
+		}
+		n.maybeRecycle(f)
+	default:
+		n.finish(f)
+	}
+}
+
+// finish completes a network flow and triggers its callback.
 func (n *FlowNet) finish(f *Flow) {
 	if f.finished {
 		return
@@ -598,20 +868,22 @@ func (n *FlowNet) finish(f *Flow) {
 	n.completed++
 	n.bytesDone += f.total
 	n.detach(f)
-	// Recompute before the callback so any transfers the callback starts
-	// see post-departure shares.
-	n.recompute(f)
+	// Mark before the callback: occupancy changes and the refill must be
+	// observable to any path-rate reading the callback makes.
+	n.mark(f)
 	if n.obs.Enabled() {
 		n.obs.Emit(n.flowEvent(obs.FlowFinish, f, false, ""))
 	}
 	if f.done != nil {
 		f.done()
 	}
+	n.maybeRecycle(f)
 }
 
 // ProspectiveRate estimates the max-min share a new flow on path would
 // receive: the minimum over path links of capacity/(flows+1). This is the
-// "path transmission rate" observation of Section II-B-3.
+// "path transmission rate" observation of Section II-B-3. It depends only
+// on link occupancy, which churn updates immediately.
 func (n *FlowNet) ProspectiveRate(path []LinkID) float64 {
 	rate := math.Inf(1)
 	for _, l := range path {
@@ -629,6 +901,7 @@ func (n *FlowNet) ProspectiveRate(path []LinkID) float64 {
 
 // CheckFeasible verifies that no link is oversubscribed: the sum of flow
 // rates on each link must not exceed its capacity (within tolerance).
+// Rates are recomputed eagerly at churn, so no flush is needed.
 // Used by property tests.
 func (n *FlowNet) CheckFeasible() error {
 	const tol = 1e-6

@@ -129,6 +129,11 @@ type Cluster struct {
 	torUp    []LinkID // rack r ToR -> core
 	torDown  []LinkID // core -> rack r ToR
 
+	// pathBuf backs the slice path() returns. Every consumer either reads
+	// it transiently (ProspectiveRate) or copies it (StartFlowBetween), so
+	// one scratch array replaces a per-transfer allocation.
+	pathBuf [4]LinkID
+
 	classes *Classes // memoized rack-level class view, built on first use
 }
 
@@ -188,15 +193,20 @@ func (c *Cluster) Distance(a, b NodeID) float64 {
 }
 
 // path returns the directed links a transfer from a to b traverses.
-// Same-node transfers have no network path.
+// Same-node transfers have no network path. The returned slice is backed
+// by a shared scratch buffer, valid until the next path() call; the flow
+// network copies it into flow-owned storage.
 func (c *Cluster) path(a, b NodeID) []LinkID {
 	if a == b {
 		return nil
 	}
 	if c.Rack(a) == c.Rack(b) {
-		return []LinkID{c.hostUp[a], c.hostDown[b]}
+		c.pathBuf[0], c.pathBuf[1] = c.hostUp[a], c.hostDown[b]
+		return c.pathBuf[:2]
 	}
-	return []LinkID{c.hostUp[a], c.torUp[c.Rack(a)], c.torDown[c.Rack(b)], c.hostDown[b]}
+	c.pathBuf[0], c.pathBuf[1] = c.hostUp[a], c.torUp[c.Rack(a)]
+	c.pathBuf[2], c.pathBuf[3] = c.torDown[c.Rack(b)], c.hostDown[b]
+	return c.pathBuf[:4]
 }
 
 // PathRate returns the max-min share a new flow from a to b would obtain

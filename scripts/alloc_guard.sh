@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Allocs/op regression guard for the simulation kernel: re-measures
+# BenchmarkSimulation_Probabilistic briefly and fails when its allocs/op
+# exceeds the budget recorded in BENCH_kernel.json by more than the
+# recorded tolerance (20%). Allocation counts are stable across short
+# runs — unlike ns/op they are immune to machine load — so a couple of
+# iterations are a reliable CI signal that nobody reintroduced per-event
+# or per-offer allocations on the hot path.
+#
+# Usage: sh scripts/alloc_guard.sh   (run from anywhere; cds to the root)
+
+set -e
+cd "$(dirname "$0")/.."
+
+BUDGET=$(awk '/"allocs_per_op_budget"/ { gsub(/[^0-9]/, ""); print; exit }' BENCH_kernel.json)
+PCT=$(awk '/"max_regression_pct"/ { gsub(/[^0-9]/, ""); print; exit }' BENCH_kernel.json)
+if [ -z "$BUDGET" ] || [ -z "$PCT" ]; then
+	echo "alloc_guard: no allocs_per_op_budget/max_regression_pct in BENCH_kernel.json" >&2
+	exit 1
+fi
+
+OUT=$(go test -run '^$' -bench 'BenchmarkSimulation_Probabilistic$' -benchmem -benchtime 2x .)
+echo "$OUT"
+CUR=$(echo "$OUT" | awk '/^BenchmarkSimulation_Probabilistic/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "allocs/op") print $i
+}')
+if [ -z "$CUR" ]; then
+	echo "alloc_guard: benchmark produced no allocs/op figure" >&2
+	exit 1
+fi
+
+LIMIT=$((BUDGET + BUDGET * PCT / 100))
+if [ "$CUR" -gt "$LIMIT" ]; then
+	echo "alloc_guard: FAIL — $CUR allocs/op exceeds budget $BUDGET by more than $PCT% (limit $LIMIT)" >&2
+	echo "alloc_guard: if the increase is intentional, regenerate the budget with scripts/bench.sh" >&2
+	exit 1
+fi
+echo "alloc_guard: OK — $CUR allocs/op within budget $BUDGET (+$PCT% = $LIMIT)"
