@@ -36,9 +36,11 @@ race:
 
 # Quick smoke of the performance-critical benchmarks (fixed small
 # iteration counts; seconds, not minutes). The fault-churn macro bench
-# runs once so recovery-path regressions and stalls surface in CI, and
-# the cluster-scale selection bench runs its whole 100→5000-node grid
-# so a scaling regression in the class-collapsed hot path surfaces too.
+# runs once so recovery-path regressions and stalls surface in CI, the
+# cluster-scale selection bench runs its whole 100→5000-node grid so a
+# scaling regression in the class-collapsed hot path surfaces too, and
+# the placement-service bench exercises the concurrent decide path at
+# 1/4/8 readers before placement_guard.sh holds its p99 budget.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCore_|BenchmarkTopology_FlowChurn' \
 		-benchmem -benchtime 200x .
@@ -46,7 +48,10 @@ bench-smoke:
 		-benchmem -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkSelect_ClusterScale' \
 		-benchmem -benchtime 20x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPlacement_Decide' \
+		-benchmem -benchtime 500x .
 	sh scripts/alloc_guard.sh
+	sh scripts/placement_guard.sh
 
 # Full benchmark pass; records results in BENCH_baseline.json and
 # the cluster-size trajectory in BENCH_scale.json.

@@ -8,13 +8,17 @@ import (
 
 // Run the paper's Grep batch (scaled down) on a small cluster under the
 // probabilistic network-aware scheduler.
-func ExampleRun() {
+func ExampleNew() {
 	cfg := mapsched.DefaultClusterConfig()
 	cfg.Topology.NodesPerRack = 12
 
-	res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Grep),
+	sim, err := mapsched.New(cfg, mapsched.Batch(mapsched.Grep),
 		mapsched.SchedulerProbabilistic,
 		mapsched.WithSeed(1), mapsched.WithScale(40))
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run()
 	if err != nil {
 		panic(err)
 	}
@@ -26,7 +30,7 @@ func ExampleRun() {
 }
 
 // Compare the three schedulers of the paper's evaluation on one batch.
-func ExampleRun_comparison() {
+func ExampleNew_comparison() {
 	cfg := mapsched.DefaultClusterConfig()
 	cfg.Topology.NodesPerRack = 12
 
@@ -35,8 +39,12 @@ func ExampleRun_comparison() {
 		mapsched.SchedulerCoupling,
 		mapsched.SchedulerFair,
 	} {
-		res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Terasort), k,
+		sim, err := mapsched.New(cfg, mapsched.Batch(mapsched.Terasort), k,
 			mapsched.WithSeed(1), mapsched.WithScale(40))
+		if err != nil {
+			panic(err)
+		}
+		res, err := sim.Run()
 		if err != nil {
 			panic(err)
 		}
@@ -46,4 +54,47 @@ func ExampleRun_comparison() {
 	// Probabilistic: 10 jobs done
 	// Coupling: 10 jobs done
 	// Fair: 10 jobs done
+}
+
+// Drive the placement decision service standalone: no simulation run,
+// no simulated clock — the caller owns the control loop, asks for
+// decisions with their Formula 1-5 breakdown, and applies cluster-state
+// deltas explicitly.
+func ExamplePlacementService() {
+	cfg := mapsched.DefaultClusterConfig()
+	cfg.Topology.Racks = 2
+	cfg.Topology.NodesPerRack = 4
+
+	svc, err := mapsched.NewPlacementService(cfg,
+		mapsched.Batch(mapsched.Wordcount)[:1],
+		mapsched.WithSeed(1), mapsched.WithScale(40),
+		mapsched.WithDeterministic())
+	if err != nil {
+		panic(err)
+	}
+
+	// Offer a free map slot on node 0 and commit the decision.
+	d := svc.DecideMap(0, 0)
+	fmt.Printf("map %d on node %d: draw=%s C=%.0f P=%.2f\n",
+		d.Task, d.Node, d.Draw, d.C, d.P)
+	if err := svc.Commit(d); err != nil {
+		panic(err)
+	}
+
+	// The cluster changes under the service: node 3 goes offline.
+	if err := svc.SetNodeOffline(3, true); err != nil {
+		panic(err)
+	}
+
+	// Finish the running map; reduce decisions see its progress.
+	if err := svc.Complete(d); err != nil {
+		panic(err)
+	}
+	r := svc.DecideReduce(10, 1)
+	fmt.Printf("reduce assigned: %v (draw=%s)\n", r.Assigned, r.Draw)
+	fmt.Printf("deltas applied: %d\n", svc.Epoch())
+	// Output:
+	// map 0 on node 0: draw=local C=0 P=1.00
+	// reduce assigned: true (draw=deterministic)
+	// deltas applied: 3
 }

@@ -26,11 +26,15 @@ func main() {
 		mapsched.SchedulerCoupling,
 		mapsched.SchedulerFair,
 	} {
-		res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Terasort), k,
+		sim, err := mapsched.New(cfg, mapsched.Batch(mapsched.Terasort), k,
 			mapsched.WithSeed(3),
 			mapsched.WithScale(6),
 			mapsched.WithStorageSubset(30),
 		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

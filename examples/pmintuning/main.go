@@ -23,12 +23,16 @@ func main() {
 	fmt.Printf("%6s %12s %12s\n", "Pmin", "mean JCT", "unfinished")
 	best := -1.0
 	for _, pmin := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
-		res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Wordcount),
+		sim, err := mapsched.New(cfg, mapsched.Batch(mapsched.Wordcount),
 			mapsched.SchedulerProbabilistic,
 			mapsched.WithSeed(5),
 			mapsched.WithScale(12),
 			mapsched.WithPmin(pmin),
 		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

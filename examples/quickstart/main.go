@@ -13,11 +13,15 @@ import (
 func main() {
 	cfg := mapsched.DefaultClusterConfig()
 
-	res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Wordcount),
+	sim, err := mapsched.New(cfg, mapsched.Batch(mapsched.Wordcount),
 		mapsched.SchedulerProbabilistic,
 		mapsched.WithSeed(1),
 		mapsched.WithScale(6), // scale the 10-100 GB inputs down 6x
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,12 +27,16 @@ func main() {
 	fmt.Printf("%-16s %10s %10s %10s %12s %14s\n",
 		"scheduler", "mean JCT", "p90 JCT", "max JCT", "local maps", "shuffle GB")
 	for _, k := range kinds {
-		res, err := mapsched.Run(cfg, mapsched.Batch(mapsched.Wordcount), k,
+		sim, err := mapsched.New(cfg, mapsched.Batch(mapsched.Wordcount), k,
 			mapsched.WithSeed(7),
 			mapsched.WithScale(6),
 			mapsched.WithCrossTraffic(30),
 			mapsched.WithCostMode(mapsched.ModeNetworkCondition),
 		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -79,7 +79,7 @@ func TestJobsTerminateUnderEveryFaultType(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Run(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
+			res, err := runSim(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
 				WithSeed(3), WithScale(30), WithReplication(tc.replication),
 				WithFaultPlan(plan))
 			if err != nil {

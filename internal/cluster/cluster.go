@@ -367,6 +367,13 @@ func (s *State) AvailReduce() (nodes []topology.NodeID, counts []int, version ui
 		append([]int(nil), s.availReduce.counts...), s.availReduce.version
 }
 
+// Versions returns both availability sets' identity versions without
+// materializing the snapshots — the O(1) consistency probe the placement
+// service's torn-read assertion uses.
+func (s *State) Versions() (mapVersion, reduceVersion uint64) {
+	return s.availMap.version, s.availReduce.version
+}
+
 // UsedSlots returns the cluster-wide occupied map and reduce slot counts.
 func (s *State) UsedSlots() (maps, reduces int) {
 	for _, n := range s.nodes {

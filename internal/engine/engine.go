@@ -22,6 +22,7 @@ import (
 	"mapsched/internal/job"
 	"mapsched/internal/metrics"
 	"mapsched/internal/obs"
+	"mapsched/internal/placement"
 	"mapsched/internal/sched"
 	"mapsched/internal/sim"
 	"mapsched/internal/topology"
@@ -325,6 +326,7 @@ type Simulation struct {
 	store *hdfs.Store
 	state *cluster.State
 	cost  *core.CostModel
+	place *placement.Service
 	sch   sched.Scheduler
 	obs   *obs.Stream
 
@@ -432,10 +434,23 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 	if err != nil {
 		return nil, err
 	}
-	// Hop-mode costs collapse into distance classes (racks); let the
-	// cluster state maintain per-class free-slot counts incrementally so
-	// the schedulers' C_avg sums are O(classes) per offer.
-	state.SetClasses(cost.Classes())
+	// The placement decision service wraps the simulation's live state;
+	// the schedulers route every decision through Decider sessions
+	// against it. It also installs the distance-class structure on the
+	// cluster state (hop-mode costs collapse into rack classes, and the
+	// state maintains per-class free-slot counts incrementally so the
+	// schedulers' C_avg sums are O(classes) per offer). The engine keeps
+	// its own cost model for locality tagging at task launch.
+	place, err := placement.NewService(placement.Deps{
+		Net:   topo,
+		Store: store,
+		Rate:  topo,
+		Slots: state,
+		Mode:  cfg.CostMode,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Simulation{
 		cfg:         cfg,
 		eng:         eng,
@@ -443,6 +458,7 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 		store:       store,
 		state:       state,
 		cost:        cost,
+		place:       place,
 		rngEngine:   root.Fork("engine"),
 		rngJobs:     root.Fork("jobs"),
 		specs:       specs,
@@ -464,7 +480,7 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 		s.hbExpiry = 10 * cfg.HeartbeatInterval
 	}
 	topo.Net().SetStream(s.obs)
-	s.sch = builder(sched.Env{Net: topo, Cost: cost, RNG: root.Fork("sched"), Obs: s.obs})
+	s.sch = builder(sched.Env{Place: place, RNG: root.Fork("sched"), Obs: s.obs})
 	if s.sch == nil {
 		return nil, fmt.Errorf("engine: builder returned nil scheduler")
 	}
@@ -503,6 +519,10 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 
 // Cost exposes the cost model (for tests).
 func (s *Simulation) Cost() *core.CostModel { return s.cost }
+
+// Placement exposes the placement decision service the schedulers decide
+// against (for tests and tools).
+func (s *Simulation) Placement() *placement.Service { return s.place }
 
 // Attach subscribes an observer to the simulation's event stream. It must
 // be called before Run: attaching mid-run would see a stream missing its

@@ -1,0 +1,306 @@
+// Package placement is the standalone network-aware task placement
+// decision service: the paper's probabilistic placement rule (Formulas
+// 1–5, Algorithms 1–2) served over an explicit cluster state, with no
+// dependency on the discrete-event engine.
+//
+// The package splits the decision problem into two halves:
+//
+//   - Service owns the shared scheduler-visible state — the network,
+//     the replicated block store, the slot state with its Avail
+//     snapshots and per-class counts — behind a
+//     writer-applies-deltas / concurrent-readers-decide contract: the
+//     Apply* methods mutate under the write lock (bumping a delta
+//     epoch and eagerly rematerializing the availability snapshots),
+//     while decisions run under the read lock.
+//   - Decider is one client's decision session: it carries the
+//     per-client cost caches (MapCoster rows, reduce costers), the
+//     client's RNG for the Bernoulli gate, and the observer stream
+//     the decision breakdown is emitted to. A Decider is not safe for
+//     concurrent use — concurrent readers each hold their own — but
+//     any number of Deciders may decide concurrently against one
+//     Service, safe under the race detector.
+//
+// The simulation engine is the first client: its schedulers route
+// AssignMap/AssignReduce through a Decider over a Service wrapping the
+// engine's live objects, producing bit-identical decision streams. The
+// Replay driver is the second: it re-derives a recorded decision
+// stream against a Service fed only deltas, proving the engine-free
+// path computes the exact same numbers.
+package placement
+
+import (
+	"fmt"
+	"sync"
+
+	"mapsched/internal/cluster"
+	"mapsched/internal/core"
+	"mapsched/internal/hdfs"
+	"mapsched/internal/topology"
+)
+
+// Deps are the state objects a Service is built over. In embedded use
+// (the simulation engine) they are the engine's live objects; in
+// standalone use the caller constructs them directly.
+type Deps struct {
+	// Net resolves node distances (and racks for locality tagging).
+	Net topology.Network
+	// Store is the replicated block store map costs read from.
+	Store *hdfs.Store
+	// Rate observes path rates; required for ModeNetworkCondition.
+	Rate topology.RateObserver
+	// Slots is the cluster slot state whose availability sets form the
+	// N_m / N_r of Formulas 4–5.
+	Slots *cluster.State
+	// Mode selects hop-count or network-condition distances.
+	Mode core.Mode
+}
+
+// linkScaler is implemented by networks whose host access links can be
+// rescaled at runtime (topology.Cluster).
+type linkScaler interface {
+	SetHostLinkFactor(a topology.NodeID, factor float64)
+}
+
+// Service is the shared half of the placement decision service. All
+// exported methods are safe for concurrent use; see the package
+// comment for the writer/reader contract.
+//
+// Embedded note: when the Service wraps a single-threaded simulation's
+// live objects, the engine mutates them directly (slot acquire on task
+// launch, replica loss on faults) instead of calling Apply* — the
+// concurrency contract then degenerates to plain single-threaded
+// access, and the delta epoch only advances for deltas applied through
+// the Service.
+type Service struct {
+	mu sync.RWMutex
+
+	net     topology.Network
+	store   *hdfs.Store
+	rate    topology.RateObserver
+	slots   *cluster.State
+	mode    core.Mode
+	classes *topology.Classes
+
+	// epoch counts deltas applied through the Service. Deciders record
+	// the value they observed so clients can order decisions against
+	// state updates.
+	epoch uint64
+}
+
+// NewService builds a decision service over the given state. The slot
+// state adopts the network's distance-class structure (hop mode), so
+// its availability snapshots carry the per-class counts the collapsed
+// cost sums consume.
+func NewService(d Deps) (*Service, error) {
+	if d.Slots == nil {
+		return nil, fmt.Errorf("placement: nil slot state")
+	}
+	// Validates the net/store/rate/mode combination and derives the
+	// class structure; Deciders rebuild their own models from the same
+	// inputs, so this one is only used for the validation and classes.
+	cm, err := core.NewCostModel(d.Net, d.Store, d.Rate, d.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if d.Net.Size() != d.Slots.Size() {
+		return nil, fmt.Errorf("placement: network has %d nodes, slot state %d", d.Net.Size(), d.Slots.Size())
+	}
+	s := &Service{
+		net:     d.Net,
+		store:   d.Store,
+		rate:    d.Rate,
+		slots:   d.Slots,
+		mode:    d.Mode,
+		classes: cm.Classes(),
+	}
+	s.slots.SetClasses(s.classes)
+	s.refreshLocked()
+	return s, nil
+}
+
+// refreshLocked rematerializes the availability snapshot slices so
+// readers never trigger the slot state's lazy rebuild (a write) under
+// the read lock. Callers hold the write lock (or own the Service
+// exclusively, as in NewService).
+func (s *Service) refreshLocked() {
+	s.slots.AvailMapNodes()
+	s.slots.AvailReduceNodes()
+}
+
+// applied finishes a delta: rematerialize snapshots, bump the epoch.
+func (s *Service) applied() {
+	s.refreshLocked()
+	s.epoch++
+}
+
+// Epoch returns the number of deltas applied through the Service.
+func (s *Service) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Mode returns the distance interpretation the service was built with.
+func (s *Service) Mode() core.Mode { return s.mode }
+
+// Slots exposes the underlying slot state for embedded (single-
+// threaded) clients; standalone concurrent clients must use the Apply*
+// deltas instead.
+func (s *Service) Slots() *cluster.State { return s.slots }
+
+// Store exposes the underlying block store (embedded clients only).
+func (s *Service) Store() *hdfs.Store { return s.store }
+
+// View is a consistent read of the service's availability state.
+type View struct {
+	AvailMap    core.Avail
+	AvailReduce core.Avail
+	Epoch       uint64
+}
+
+// Snapshot returns the current availability sets with their per-class
+// counts and identity versions, plus the delta epoch, read atomically
+// under the read lock. The node slices are copy-on-write (the slot
+// state allocates a fresh slice per membership change), so a returned
+// View stays internally consistent even as later deltas apply.
+func (s *Service) Snapshot() View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	am, amCounts, amVer := s.slots.AvailMap()
+	ar, arCounts, arVer := s.slots.AvailReduce()
+	return View{
+		AvailMap:    core.Avail{Nodes: am, Counts: amCounts, Version: amVer},
+		AvailReduce: core.Avail{Nodes: ar, Counts: arCounts, Version: arVer},
+		Epoch:       s.epoch,
+	}
+}
+
+// SlotKind selects which slot type a slot delta concerns.
+type SlotKind int
+
+// Slot kinds.
+const (
+	MapSlot SlotKind = iota
+	ReduceSlot
+)
+
+// String names the slot kind.
+func (k SlotKind) String() string {
+	if k == ReduceSlot {
+		return "reduce"
+	}
+	return "map"
+}
+
+// ApplySlotAcquire records that a task occupied a slot of the given
+// kind on node n (a placement decision was committed).
+func (s *Service) ApplySlotAcquire(k SlotKind, n topology.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if k == ReduceSlot {
+		err = s.slots.Node(n).AcquireReduce()
+	} else {
+		err = s.slots.Node(n).AcquireMap()
+	}
+	if err != nil {
+		return err
+	}
+	s.applied()
+	return nil
+}
+
+// ApplySlotRelease records that a task freed a slot of the given kind
+// on node n (it finished or was killed).
+func (s *Service) ApplySlotRelease(k SlotKind, n topology.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k == ReduceSlot {
+		s.slots.Node(n).ReleaseReduce()
+	} else {
+		s.slots.Node(n).ReleaseMap()
+	}
+	s.applied()
+}
+
+// ApplyReplicaAdd records a new replica of block id on node n (e.g. a
+// re-replication finishing). Reports whether the replica set changed.
+func (s *Service) ApplyReplicaAdd(id hdfs.BlockID, n topology.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := s.store.AddReplica(id, n)
+	if added {
+		s.applied()
+	}
+	return added
+}
+
+// ApplyReplicaLoss records the loss of block id's replica on node n
+// (disk failure, decommission). Reports whether a replica was removed.
+func (s *Service) ApplyReplicaLoss(id hdfs.BlockID, n topology.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := s.store.RemoveReplica(id, n)
+	if removed {
+		s.applied()
+	}
+	return removed
+}
+
+// ApplyNodeReplicaLoss drops every replica hosted on node n (the node
+// died with its disks). Returns the number of replicas removed.
+func (s *Service) ApplyNodeReplicaLoss(n topology.NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := s.store.RemoveNodeReplicas(n)
+	s.applied()
+	return removed
+}
+
+// ApplyNodeOffline marks node n dead (true) or revived (false): an
+// offline node offers no slots and drops out of the Avail sets.
+func (s *Service) ApplyNodeOffline(n topology.NodeID, off bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slots.Node(n).SetOffline(off)
+	s.applied()
+}
+
+// ApplyNodeBlacklist marks node n blacklisted (no new tasks, running
+// ones keep their slots) or clears the mark.
+func (s *Service) ApplyNodeBlacklist(n topology.NodeID, b bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slots.Node(n).SetBlacklisted(b)
+	s.applied()
+}
+
+// Update runs fn under the write lock and counts it as one applied
+// delta: use it for mutations of client-owned state that decisions
+// read — task states, job membership — so they stay inside the
+// writer/reader contract. fn may touch the state behind Slots() and
+// Store() directly but must not call other Service methods (they take
+// the same lock). The availability snapshots are rematerialized after
+// fn returns.
+func (s *Service) Update(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+	s.applied()
+}
+
+// ApplyLinkFactor rescales node n's host access link capacity by
+// factor (1 restores nominal). Only supported when the network exposes
+// runtime link scaling; network-condition costs then see the change
+// through the rate observer.
+func (s *Service) ApplyLinkFactor(n topology.NodeID, factor float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.net.(linkScaler)
+	if !ok {
+		return fmt.Errorf("placement: network %T does not support link rescaling", s.net)
+	}
+	ls.SetHostLinkFactor(n, factor)
+	s.applied()
+	return nil
+}

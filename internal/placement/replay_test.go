@@ -1,0 +1,147 @@
+package placement_test
+
+// The replay round-trip lives in an external test package so it can run
+// the full engine (engine imports sched imports placement) as the
+// recording side, then drive the engine-free Replay path against the
+// captured stream.
+
+import (
+	"strings"
+	"testing"
+
+	"mapsched/internal/engine"
+	"mapsched/internal/job"
+	"mapsched/internal/obs"
+	"mapsched/internal/placement"
+	"mapsched/internal/sched"
+	"mapsched/internal/workload"
+)
+
+// collector retains every emitted event in stream order.
+type collector struct {
+	events []obs.Event
+}
+
+func (c *collector) Observe(e obs.Event) { c.events = append(c.events, e) }
+
+func replaySpecs(t *testing.T) []job.Spec {
+	t.Helper()
+	o := workload.Options{Scale: 40, Replication: 2, SubmitStagger: 1}
+	defs := []workload.JobDef{
+		{JobID: "01", Kind: workload.Wordcount, InputGB: 10, Maps: 88, Reduces: 157},
+		{JobID: "11", Kind: workload.Terasort, InputGB: 10, Maps: 143, Reduces: 190},
+		{JobID: "21", Kind: workload.Grep, InputGB: 10, Maps: 87, Reduces: 148},
+	}
+	specs, err := workload.Specs(defs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// record runs a probabilistic simulation on a small cluster and returns
+// its configuration plus the captured event stream.
+func record(t *testing.T, mutate func(*engine.Config)) (engine.Config, []job.Spec, []obs.Event) {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Topology.Racks = 2
+	cfg.Topology.NodesPerRack = 4
+	cfg.Seed = 11
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	specs := replaySpecs(t)
+	s, err := engine.New(cfg, specs, sched.NewProbabilistic(sched.DefaultProbabilisticConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &collector{}
+	if err := s.Attach(col); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("recording run left %d jobs unfinished", res.Unfinished)
+	}
+	return cfg, specs, col.events
+}
+
+// TestReplayRoundTrip is the tentpole's engine-free client check: every
+// map placement decision the simulation recorded must be re-derivable,
+// bit-for-bit, from the event stream and the seed alone.
+func TestReplayRoundTrip(t *testing.T) {
+	cfg, specs, events := record(t, nil)
+	rep, err := placement.Replay(placement.ReplayConfig{
+		Topology:           cfg.Topology,
+		MapSlotsPerNode:    cfg.MapSlotsPerNode,
+		ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+		Seed:               cfg.Seed,
+		Specs:              specs,
+		Sched:              placement.DefaultConfig(),
+	}, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MapDecisions == 0 {
+		t.Fatal("recording carried no map decisions to verify")
+	}
+	if rep.Deltas == 0 {
+		t.Fatal("replay applied no lifecycle deltas")
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d of %d re-derived decisions disagree with the recording; first: %s",
+			len(rep.Mismatches), rep.MapDecisions, rep.Mismatches[0])
+	}
+	t.Logf("replayed %d events: %d deltas, %d map decisions verified", rep.Events, rep.Deltas, rep.MapDecisions)
+}
+
+// TestReplayDivergenceIsDetected guards the verifier itself: replaying a
+// stream against the wrong seed reconstructs different block placements,
+// and the report must say so rather than silently passing.
+func TestReplayDivergenceIsDetected(t *testing.T) {
+	cfg, specs, events := record(t, nil)
+	rep, err := placement.Replay(placement.ReplayConfig{
+		Topology:           cfg.Topology,
+		MapSlotsPerNode:    cfg.MapSlotsPerNode,
+		ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+		Seed:               cfg.Seed + 1, // wrong cluster
+		Specs:              specs,
+		Sched:              placement.DefaultConfig(),
+	}, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("replay against the wrong seed reported a faithful stream")
+	}
+}
+
+// TestReplayRejectsFaultStreams pins the supported envelope: streams with
+// slot churn outside the recorded task lifecycle are refused, not
+// replayed wrong.
+func TestReplayRejectsFaultStreams(t *testing.T) {
+	cfg, specs, events := record(t, nil)
+	// Splice a speculation launch into an otherwise clean recording: the
+	// tiny jobs above never straggle, so fabricate the event the fault and
+	// speculation machinery would emit.
+	tampered := append(append([]obs.Event{}, events[:len(events)/2]...),
+		obs.Event{Type: obs.SpecStart, Job: specs[0].Name})
+	tampered = append(tampered, events[len(events)/2:]...)
+	_, err := placement.Replay(placement.ReplayConfig{
+		Topology:           cfg.Topology,
+		MapSlotsPerNode:    cfg.MapSlotsPerNode,
+		ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+		Seed:               cfg.Seed,
+		Specs:              specs,
+		Sched:              placement.DefaultConfig(),
+	}, tampered)
+	if err == nil {
+		t.Fatal("replay accepted a speculation stream")
+	}
+	if !strings.Contains(err.Error(), "not replayable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

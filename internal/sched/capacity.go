@@ -5,6 +5,7 @@ import (
 
 	"mapsched/internal/core"
 	"mapsched/internal/job"
+	"mapsched/internal/placement"
 	"mapsched/internal/topology"
 )
 
@@ -31,13 +32,15 @@ func DefaultCapacityConfig() CapacityConfig {
 type Capacity struct {
 	env   Env
 	cfg   CapacityConfig
+	dec   *placement.Decider
 	waits map[*job.ReduceTask]int
 }
 
 // NewCapacity returns a Builder for the baseline.
 func NewCapacity(cfg CapacityConfig) Builder {
 	return func(env Env) Scheduler {
-		return &Capacity{env: env, cfg: cfg, waits: make(map[*job.ReduceTask]int)}
+		dec := placement.NewDecider(env.Place, placement.Config{Naive: true}, env.RNG, env.Obs)
+		return &Capacity{env: env, cfg: cfg, dec: dec, waits: make(map[*job.ReduceTask]int)}
 	}
 }
 
@@ -57,7 +60,7 @@ func (c *Capacity) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 	var rackChoice *job.MapTask
 	for _, j := range jobs {
 		for _, m := range j.PendingMaps() {
-			switch c.env.Cost.Locality(m, node) {
+			switch c.dec.Locality(m, node) {
 			case job.LocalNode:
 				return m
 			case job.LocalRack:
@@ -81,7 +84,7 @@ func (c *Capacity) AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceT
 		if len(pending) == 0 {
 			continue
 		}
-		rc := c.env.Cost.NewReduceCoster(j, core.CurrentSize{})
+		rc := c.dec.NewReduceCoster(j, core.CurrentSize{})
 		best := pending[0]
 		bestOn := rc.OnNode(node, best.Index)
 		for _, r := range pending[1:] {

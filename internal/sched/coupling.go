@@ -7,6 +7,7 @@ import (
 	"mapsched/internal/core"
 	"mapsched/internal/job"
 	"mapsched/internal/obs"
+	"mapsched/internal/placement"
 	"mapsched/internal/topology"
 )
 
@@ -45,13 +46,15 @@ func DefaultCouplingConfig() CouplingConfig {
 type Coupling struct {
 	env   Env
 	cfg   CouplingConfig
+	dec   *placement.Decider
 	waits map[*job.ReduceTask]int
 }
 
 // NewCoupling returns a Builder for the baseline.
 func NewCoupling(cfg CouplingConfig) Builder {
 	return func(env Env) Scheduler {
-		return &Coupling{env: env, cfg: cfg, waits: make(map[*job.ReduceTask]int)}
+		dec := placement.NewDecider(env.Place, placement.Config{Naive: true}, env.RNG, env.Obs)
+		return &Coupling{env: env, cfg: cfg, dec: dec, waits: make(map[*job.ReduceTask]int)}
 	}
 }
 
@@ -72,15 +75,15 @@ func (c *Coupling) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 		// does); otherwise draw a random candidate and gate on locality.
 		var m *job.MapTask
 		for _, cand := range pending {
-			if c.env.Cost.Locality(cand, node) == job.LocalNode {
+			if c.dec.Locality(cand, node) == job.LocalNode {
 				m = cand
 				break
 			}
 		}
 		if m == nil {
-			m = pending[c.env.RNG.Intn(len(pending))]
+			m = pending[c.dec.Intn(len(pending))]
 		}
-		loc := c.env.Cost.Locality(m, node)
+		loc := c.dec.Locality(m, node)
 		var p float64
 		switch loc {
 		case job.LocalNode:
@@ -90,7 +93,7 @@ func (c *Coupling) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 		default:
 			p = c.cfg.PRemote
 		}
-		if c.env.RNG.Bernoulli(p) {
+		if c.dec.Bernoulli(p) {
 			if c.env.Obs.Enabled() {
 				e := decisionEvent(obs.TaskAssign, ctx.Now, node, j, "map", m.Index)
 				e.Locality = loc.String()
@@ -144,7 +147,7 @@ func (c *Coupling) AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceT
 		}
 		// Choose the pending reduce with the largest current data volume —
 		// the one whose placement matters most right now.
-		rc := c.env.Cost.NewReduceCoster(j, core.CurrentSize{})
+		rc := c.dec.NewReduceCoster(j, core.CurrentSize{})
 		best := pending[0]
 		bestVol := rc.TotalEstimated(best.Index)
 		for _, r := range pending[1:] {

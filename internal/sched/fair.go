@@ -5,6 +5,7 @@ import (
 
 	"mapsched/internal/job"
 	"mapsched/internal/obs"
+	"mapsched/internal/placement"
 	"mapsched/internal/topology"
 )
 
@@ -36,13 +37,17 @@ func DefaultFairDelayConfig() FairDelayConfig {
 type FairDelay struct {
 	env   Env
 	cfg   FairDelayConfig
+	dec   *placement.Decider
 	skips map[job.ID]int // consecutive offers the job declined for locality
 }
 
 // NewFairDelay returns a Builder for the baseline.
 func NewFairDelay(cfg FairDelayConfig) Builder {
 	return func(env Env) Scheduler {
-		return &FairDelay{env: env, cfg: cfg, skips: make(map[job.ID]int)}
+		// Naive: the baseline only needs locality lookups and the shared
+		// RNG stream from its session, not the incremental cost caches.
+		dec := placement.NewDecider(env.Place, placement.Config{Naive: true}, env.RNG, env.Obs)
+		return &FairDelay{env: env, cfg: cfg, dec: dec, skips: make(map[job.ID]int)}
 	}
 }
 
@@ -58,7 +63,7 @@ func (f *FairDelay) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 		pending := j.PendingMaps()
 		var local, rack, any *job.MapTask
 		for _, m := range pending {
-			switch f.env.Cost.Locality(m, node) {
+			switch f.dec.Locality(m, node) {
 			case job.LocalNode:
 				if local == nil {
 					local = m
@@ -111,7 +116,7 @@ func (f *FairDelay) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
 func (f *FairDelay) emitAssign(ctx *Context, node topology.NodeID, m *job.MapTask, reason string) *job.MapTask {
 	if f.env.Obs.Enabled() {
 		e := decisionEvent(obs.TaskAssign, ctx.Now, node, m.Job, "map", m.Index)
-		e.Locality = f.env.Cost.Locality(m, node).String()
+		e.Locality = f.dec.Locality(m, node).String()
 		e.Reason = reason
 		f.env.Obs.Emit(e)
 	}
@@ -128,7 +133,7 @@ func (f *FairDelay) AssignReduce(ctx *Context, node topology.NodeID) *job.Reduce
 		}
 		// "Randomly selects a reduce task": partitions are interchangeable
 		// at this point, draw one uniformly.
-		r := pending[f.env.RNG.Intn(len(pending))]
+		r := pending[f.dec.Intn(len(pending))]
 		if f.env.Obs.Enabled() {
 			e := decisionEvent(obs.TaskAssign, ctx.Now, node, j, "reduce", r.Index)
 			e.Reason = "random"

@@ -5,6 +5,7 @@ import (
 
 	"mapsched/internal/core"
 	"mapsched/internal/job"
+	"mapsched/internal/placement"
 	"mapsched/internal/topology"
 )
 
@@ -38,6 +39,7 @@ func DefaultLARTSConfig() LARTSConfig {
 type LARTS struct {
 	env   Env
 	cfg   LARTSConfig
+	dec   *placement.Decider
 	maps  *FairDelay
 	waits map[*job.ReduceTask]int
 }
@@ -48,6 +50,7 @@ func NewLARTS(cfg LARTSConfig) Builder {
 		return &LARTS{
 			env:   env,
 			cfg:   cfg,
+			dec:   placement.NewDecider(env.Place, placement.Config{Naive: true}, env.RNG, env.Obs),
 			maps:  NewFairDelay(cfg.Fair)(env).(*FairDelay),
 			waits: make(map[*job.ReduceTask]int),
 		}
@@ -74,7 +77,7 @@ func (l *LARTS) AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceTask
 		if len(pending) == 0 {
 			continue
 		}
-		rc := l.env.Cost.NewReduceCoster(j, core.CurrentSize{})
+		rc := l.dec.NewReduceCoster(j, core.CurrentSize{})
 		// Consider the pending reduce with the most known input — its
 		// placement matters most now.
 		best := pending[0]

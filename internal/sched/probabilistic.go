@@ -5,137 +5,27 @@ import (
 
 	"mapsched/internal/core"
 	"mapsched/internal/job"
-	"mapsched/internal/obs"
-	"mapsched/internal/sim"
+	"mapsched/internal/placement"
 	"mapsched/internal/topology"
 )
 
-// ProbabilisticConfig tunes the paper's scheduler.
-type ProbabilisticConfig struct {
-	// Pmin is the probability threshold below which a slot is skipped
-	// (Algorithm 1 line 10 / Algorithm 2 line 11). The paper tunes it to
-	// 0.4 on its testbed.
-	Pmin float64
-	// Estimator predicts I_jf for reduce cost computation; nil means the
-	// paper's progress-scaled estimator.
-	Estimator core.Estimator
-	// JobPolicy orders jobs; the paper's experiments use fair ordering.
-	JobPolicy JobPolicy
-	// Deterministic replaces the Bernoulli draw with an unconditional
-	// assignment whenever P ≥ Pmin. Used by the ablation of Section II-C's
-	// design choice ("rather than assigning the task with the lowest
-	// transmission cost instantly ... we use such a probability").
-	Deterministic bool
-	// SpreadReduces enforces Algorithm 2 line 1: at most one running
-	// reduce task of a job per node. On by default via NewProbabilistic.
-	SpreadReduces bool
-	// Model converts (C_avg, C) into the assignment probability; nil means
-	// the paper's exponential model (Formula 4). Section V calls the
-	// exploration of alternative models out as future work.
-	Model core.ProbabilityModel
-	// Naive disables the incremental cost caches: map costs are evaluated
-	// directly against the cost model and reduce costers are rebuilt from
-	// scratch whenever they go stale. The cached path is bit-identical to
-	// this one; the flag exists for the equivalence tests and benchmarks
-	// that prove it.
-	Naive bool
-}
+// ProbabilisticConfig tunes the paper's scheduler. It is the placement
+// package's decision config: the scheduler is a thin engine adapter over
+// a placement.Decider.
+type ProbabilisticConfig = placement.Config
 
 // DefaultProbabilisticConfig returns the paper's settings.
 func DefaultProbabilisticConfig() ProbabilisticConfig {
-	return ProbabilisticConfig{
-		Pmin:          0.4,
-		Estimator:     core.ProgressScaled{},
-		JobPolicy:     FairJobs,
-		SpreadReduces: true,
-	}
+	return placement.DefaultConfig()
 }
 
-// Probabilistic is the paper's probabilistic network-aware scheduler.
+// Probabilistic is the paper's probabilistic network-aware scheduler: an
+// adapter routing the engine's slot offers through a placement.Decider
+// session, which owns the cost caches and implements Algorithms 1–2.
 type Probabilistic struct {
 	env Env
 	cfg ProbabilisticConfig
-
-	// costerCache memoizes per-job reduce costers for a short window:
-	// heartbeat-reported progress moves slowly relative to the offer rate,
-	// so rebuilding the O(maps x reduces) aggregation on every slot offer
-	// only burns time (a real JobTracker caches these statistics too).
-	// Entries of finished jobs are swept by sweep() so the cache cannot
-	// grow past the set of live jobs.
-	costerCache map[job.ID]costerEntry
-
-	// sweptLen / sweptTail identify the job set the last sweep ran
-	// against: the live list only ever appends strictly increasing job
-	// IDs, so an unchanged (length, last ID) pair means the set itself is
-	// unchanged and the sweep can be skipped.
-	sweptLen  int
-	sweptTail job.ID
-
-	// mapCost evaluates Formula 1: a shared MapCoster on the cached path,
-	// the direct cost model when cfg.Naive is set.
-	mapCost core.MapCostEvaluator
-	maps    *core.MapCoster // nil on the naive path
-}
-
-// costerEntry is one cached reduce coster with its last refresh time.
-type costerEntry struct {
-	at sim.Time
-	rc *core.ReduceCoster
-}
-
-// costerMaxAge is how long a cached coster stays fresh, in simulated
-// seconds.
-const costerMaxAge = 1.0
-
-// coster returns a fresh-enough reduce coster for j. A stale coster is
-// brought up to date incrementally (or rebuilt from scratch on the naive
-// path — the two are bit-identical, see core.ReduceCoster.Refresh).
-func (p *Probabilistic) coster(j *job.Job, now sim.Time) *core.ReduceCoster {
-	if e, ok := p.costerCache[j.ID]; ok {
-		if float64(now-e.at) < costerMaxAge {
-			return e.rc
-		}
-		if !p.cfg.Naive {
-			e.rc.Refresh()
-			p.costerCache[j.ID] = costerEntry{at: now, rc: e.rc}
-			return e.rc
-		}
-	}
-	rc := p.env.Cost.NewReduceCoster(j, p.cfg.Estimator)
-	p.costerCache[j.ID] = costerEntry{at: now, rc: rc}
-	return rc
-}
-
-// sweep evicts cached state of jobs that left the live set (finished or
-// removed), fixing the per-completed-job leak of both the reduce-coster
-// cache and the map-cost rows. Evicted jobs are never offered slots
-// again, so eviction cannot change a scheduling decision. It runs on
-// every job-set change — detected by the (length, tail ID) signature of
-// the append-ordered live list, whose IDs strictly increase — rather than
-// only when the cache outgrows the live set: under balanced churn (one
-// job finishing as another arrives) the sizes stay equal while dead
-// entries pile up.
-func (p *Probabilistic) sweep(ctx *Context) {
-	tail := job.ID(-1)
-	if n := len(ctx.Jobs); n > 0 {
-		tail = ctx.Jobs[n-1].ID
-	}
-	if len(ctx.Jobs) == p.sweptLen && tail == p.sweptTail && len(p.costerCache) <= len(ctx.Jobs) {
-		return
-	}
-	p.sweptLen, p.sweptTail = len(ctx.Jobs), tail
-	live := make(map[job.ID]struct{}, len(ctx.Jobs))
-	for _, j := range ctx.Jobs {
-		live[j.ID] = struct{}{}
-	}
-	for id, e := range p.costerCache {
-		if _, ok := live[id]; !ok {
-			if p.maps != nil {
-				p.maps.Forget(e.rc.Job())
-			}
-			delete(p.costerCache, id)
-		}
-	}
+	dec *placement.Decider
 }
 
 // NewProbabilistic returns a Builder for the scheduler with the given
@@ -149,16 +39,16 @@ func NewProbabilistic(cfg ProbabilisticConfig) Builder {
 		cfg.Model = core.Exponential{}
 	}
 	return func(env Env) Scheduler {
-		p := &Probabilistic{env: env, cfg: cfg, costerCache: make(map[job.ID]costerEntry)}
-		if cfg.Naive {
-			p.mapCost = env.Cost.Evaluator()
-		} else {
-			p.maps = env.Cost.NewMapCoster()
-			p.mapCost = p.maps
+		return &Probabilistic{
+			env: env,
+			cfg: cfg,
+			dec: placement.NewDecider(env.Place, cfg, env.RNG, env.Obs),
 		}
-		return p
 	}
 }
+
+// Decider exposes the underlying decision session (tests and tools).
+func (p *Probabilistic) Decider() *placement.Decider { return p.dec }
 
 // Name implements Scheduler.
 func (p *Probabilistic) Name() string {
@@ -166,162 +56,23 @@ func (p *Probabilistic) Name() string {
 	if p.cfg.Deterministic {
 		n = "deterministic-cost"
 	}
-	if p.env.Cost.Mode() == core.ModeNetworkCondition {
+	if p.dec.Mode() == core.ModeNetworkCondition {
 		n += "+netcond"
 	}
 	return fmt.Sprintf("%s(pmin=%.2f,est=%s,model=%s)", n, p.cfg.Pmin, p.cfg.Estimator.Name(), p.cfg.Model.Name())
 }
 
-// AssignMap implements Algorithm 1 on the offered node. Candidate tasks
-// come from the fair-ordered job queue: a data-local best candidate
-// (P = 1) from the fairest job wins immediately; otherwise the
-// highest-saving candidate across jobs faces the P_min threshold and the
-// Bernoulli draw, and when that gate rejects it, the best data-local
-// candidate found along the way (a small local task can be out-saved by a
-// large remote one) is assigned instead — Algorithm 1's P = 1 rule never
-// leaves the slot idle while a zero-cost placement exists. Scanning past
-// the head job mirrors how Hadoop's job-level scheduler iterates jobs
-// when the head job has nothing attractive for a node.
+// AssignMap implements Algorithm 1 on the offered node via the decision
+// service; see placement.Decider.PlaceMap for the selection and gate
+// semantics.
 func (p *Probabilistic) AssignMap(ctx *Context, node topology.NodeID) *job.MapTask {
-	p.sweep(ctx)
-	var best, local core.Choice
-	found, haveLocal := false, false
-	for _, j := range orderJobs(ctx, p.cfg.JobPolicy, mapKind) {
-		sel, ok := core.SelectMapTaskWith(p.mapCost, p.cfg.Model, j.PendingMaps(), node, ctx.AvailMap)
-		if !ok {
-			continue
-		}
-		c := sel.Best
-		if c.Cost == 0 {
-			// Data-local placement for the fairest job that has one:
-			// assign instantly (Algorithm 1: P_mj = 1 when C = 0).
-			if p.env.Obs.Enabled() {
-				p.emitChoice(ctx, node, obs.TaskAssign, c,
-					&obs.Decision{C: 0, CAvg: c.AvgCost, P: 1, PMin: p.cfg.Pmin, Draw: "local"}, "")
-			}
-			return c.MapTask
-		}
-		if sel.HasLocal() && !haveLocal {
-			// Fallback from the fairest job that has a local candidate.
-			local = sel.Local
-			haveLocal = true
-		}
-		if !found || c.Saving() > best.Saving() {
-			best = c
-			found = true
-		}
-	}
-	if !found {
-		return nil
-	}
-	if t, ok := p.gate(ctx, node, best); ok {
-		return t.MapTask
-	}
-	if haveLocal {
-		if p.env.Obs.Enabled() {
-			p.emitChoice(ctx, node, obs.TaskAssign, local,
-				&obs.Decision{C: 0, CAvg: local.AvgCost, P: 1, PMin: p.cfg.Pmin, Draw: "local_fallback"}, "")
-		}
-		return local.MapTask
-	}
-	return nil
+	m, _ := p.dec.PlaceMap(ctx.request(), node)
+	return m
 }
 
-// gate runs the shared tail of Algorithms 1 and 2: the P_min threshold
-// (lines 10-12 / 11-13) and the Bernoulli draw, emitting the offer /
-// assign / skip events with the Formula 1-5 breakdown when a sink is
-// attached. The Bernoulli draw consumes exactly the same RNG stream
-// whether or not observers are attached. best.Prob already carries the
-// configured model's probability — selection computes it exactly once.
-func (p *Probabilistic) gate(ctx *Context, node topology.NodeID, best core.Choice) (core.Choice, bool) {
-	prob := best.Prob
-	emit := p.env.Obs.Enabled()
-	if emit {
-		p.emitChoice(ctx, node, obs.TaskOffer, best,
-			&obs.Decision{C: best.Cost, CAvg: best.AvgCost, P: prob, PMin: p.cfg.Pmin}, "")
-	}
-	if prob < p.cfg.Pmin {
-		if emit {
-			p.emitChoice(ctx, node, obs.TaskSkip, best,
-				&obs.Decision{C: best.Cost, CAvg: best.AvgCost, P: prob, PMin: p.cfg.Pmin, Draw: "below_pmin"}, "below_pmin")
-		}
-		return best, false // skip this node
-	}
-	if p.cfg.Deterministic || p.env.RNG.Bernoulli(prob) {
-		if emit {
-			draw := "accept"
-			if p.cfg.Deterministic {
-				draw = "deterministic"
-			}
-			p.emitChoice(ctx, node, obs.TaskAssign, best,
-				&obs.Decision{C: best.Cost, CAvg: best.AvgCost, P: prob, PMin: p.cfg.Pmin, Draw: draw}, "")
-		}
-		return best, true
-	}
-	if emit {
-		p.emitChoice(ctx, node, obs.TaskSkip, best,
-			&obs.Decision{C: best.Cost, CAvg: best.AvgCost, P: prob, PMin: p.cfg.Pmin, Draw: "decline"}, "declined")
-	}
-	return best, false // Bernoulli declined: slot stays idle this round
-}
-
-// emitChoice publishes one decision event for the chosen candidate.
-func (p *Probabilistic) emitChoice(ctx *Context, node topology.NodeID, t obs.Type, c core.Choice, d *obs.Decision, reason string) {
-	kind, idx := "map", 0
-	var j *job.Job
-	if c.MapTask != nil {
-		j, idx = c.MapTask.Job, c.MapTask.Index
-	} else {
-		kind, j, idx = "reduce", c.ReduceTask.Job, c.ReduceTask.Index
-	}
-	e := decisionEvent(t, ctx.Now, node, j, kind, idx)
-	e.Decision = d
-	e.Reason = reason
-	if t == obs.TaskAssign && c.MapTask != nil {
-		e.Locality = p.env.Cost.Locality(c.MapTask, node).String()
-	}
-	p.env.Obs.Emit(e)
-}
-
-// AssignReduce implements Algorithm 2 on the offered node, pooling
-// candidates across the fair-ordered job queue like AssignMap.
+// AssignReduce implements Algorithm 2 on the offered node via the
+// decision service; see placement.Decider.PlaceReduce.
 func (p *Probabilistic) AssignReduce(ctx *Context, node topology.NodeID) *job.ReduceTask {
-	// The first pass honours Algorithm 2 line 1 (no second running reduce
-	// of a job on one node); when that leaves the slot with no candidate
-	// at all — e.g. the batch tail, where a single job's reduces outnumber
-	// the cluster's nodes — a work-conserving second pass relaxes the
-	// rule, as any deployed scheduler must for jobs with more reduces than
-	// nodes.
-	p.sweep(ctx)
-	best, found := p.selectReduce(ctx, node, p.cfg.SpreadReduces)
-	if !found && p.cfg.SpreadReduces {
-		best, found = p.selectReduce(ctx, node, false)
-	}
-	if !found {
-		return nil
-	}
-	if t, ok := p.gate(ctx, node, best); ok {
-		return t.ReduceTask
-	}
-	return nil
-}
-
-func (p *Probabilistic) selectReduce(ctx *Context, node topology.NodeID, spread bool) (core.Choice, bool) {
-	var best core.Choice
-	found := false
-	for _, j := range orderJobs(ctx, p.cfg.JobPolicy, reduceKind) {
-		if spread && j.HasReduceOn(node) {
-			continue // Algorithm 2 line 1
-		}
-		rc := p.coster(j, ctx.Now)
-		c, ok := core.SelectReduceTask(rc, p.cfg.Model, j.PendingReduces(), node, ctx.AvailReduce)
-		if !ok {
-			continue
-		}
-		if !found || c.Saving() > best.Saving() {
-			best = c
-			found = true
-		}
-	}
-	return best, found
+	r, _ := p.dec.PlaceReduce(ctx.request(), node)
+	return r
 }

@@ -11,22 +11,28 @@
 //
 // All schedulers share the same job-level policy (fair ordering, as in the
 // paper's experiments; FIFO is available as an option) and are invoked by
-// the engine at heartbeat time with one offered node.
+// the engine at heartbeat time with one offered node. Every scheduler
+// routes its state reads and decisions through a placement.Decider session
+// against the simulation's placement.Service — the schedulers are the
+// decision service's first client.
 package sched
 
 import (
 	"mapsched/internal/core"
 	"mapsched/internal/job"
 	"mapsched/internal/obs"
+	"mapsched/internal/placement"
 	"mapsched/internal/sim"
 	"mapsched/internal/topology"
 )
 
 // Env carries the long-lived dependencies a scheduler needs.
 type Env struct {
-	Net  topology.Network
-	Cost *core.CostModel
-	RNG  *sim.RNG
+	// Place is the placement decision service wrapping the simulation's
+	// network, block store and slot state; schedulers open Decider
+	// sessions against it.
+	Place *placement.Service
+	RNG   *sim.RNG
 	// Obs receives task_offer / task_assign / task_skip events carrying the
 	// decision breakdown. A nil stream (the default outside a full
 	// simulation) disables emission at the cost of one comparison.
@@ -52,11 +58,22 @@ type Context struct {
 	// mapred.reduce.slowstart.completed.maps, default 0.05).
 	Slowstart float64
 
-	// jobBuf and keyBuf are orderJobs scratch, reused across offers when
-	// the engine reuses the Context object. Not for scheduler use: the
-	// slice returned by orderJobs is valid only until the next call.
-	jobBuf []*job.Job
-	keyBuf []int
+	// req is the placement.Request the Context is translated into on
+	// every decision; its scratch buffers persist across offers when the
+	// engine reuses the Context object.
+	req placement.Request
+}
+
+// request refreshes the embedded placement request from the Context's
+// public fields and returns it. The result aliases Context state: valid
+// until the Context is rebuilt.
+func (ctx *Context) request() *placement.Request {
+	ctx.req.Now = ctx.Now
+	ctx.req.Jobs = ctx.Jobs
+	ctx.req.AvailMap = ctx.AvailMap
+	ctx.req.AvailReduce = ctx.AvailReduce
+	ctx.req.Slowstart = ctx.Slowstart
+	return &ctx.req
 }
 
 // Scheduler decides task placements when a node offers free slots.
@@ -70,81 +87,33 @@ type Scheduler interface {
 // Builder constructs a scheduler bound to a simulation's environment.
 type Builder func(Env) Scheduler
 
-// JobPolicy orders jobs for task-level scheduling.
-type JobPolicy int
+// JobPolicy orders jobs for task-level scheduling; it lives in the
+// placement package and is aliased here for the scheduler configs.
+type JobPolicy = placement.JobPolicy
 
 // Job-level policies.
 const (
 	// FairJobs orders jobs by fewest running tasks of the requested kind
 	// (Hadoop Fair Scheduler's equal-share special case, as used in the
 	// paper's experiments), breaking ties by submission order.
-	FairJobs JobPolicy = iota
+	FairJobs = placement.FairJobs
 	// FIFOJobs orders jobs strictly by submission order.
-	FIFOJobs
+	FIFOJobs = placement.FIFOJobs
 )
 
-// String names the policy.
-func (p JobPolicy) String() string {
-	if p == FIFOJobs {
-		return "fifo"
-	}
-	return "fair"
-}
-
 // taskKind selects which running-task count fair ordering uses.
-type taskKind int
+type taskKind = placement.TaskKind
 
 const (
-	mapKind taskKind = iota
-	reduceKind
+	mapKind    = placement.MapTasks
+	reduceKind = placement.ReduceTasks
 )
 
 // orderJobs returns ctx.Jobs sorted under the policy for the given kind,
-// considering only jobs that still have pending tasks of that kind. The
-// returned slice is Context scratch: valid until the next orderJobs call
-// on the same Context, never retained by schedulers. The fair-policy sort
-// is a stable insertion sort on per-job keys computed once — identical
-// ordering to a stable sort with a recomputing comparator, without the
-// comparator closure or the O(n log n) task-list rescans.
+// considering only jobs that still have pending tasks of that kind; see
+// placement.OrderJobs. The returned slice is Context scratch: valid until
+// the next orderJobs call on the same Context, never retained by
+// schedulers.
 func orderJobs(ctx *Context, policy JobPolicy, kind taskKind) []*job.Job {
-	out := ctx.jobBuf[:0]
-	for _, j := range ctx.Jobs {
-		switch kind {
-		case mapKind:
-			if j.HasPendingMaps() {
-				out = append(out, j)
-			}
-		case reduceKind:
-			if j.HasPendingReduces() && reduceEligible(ctx, j) {
-				out = append(out, j)
-			}
-		}
-	}
-	ctx.jobBuf = out
-	if policy == FIFOJobs || len(out) < 2 {
-		return out // ctx.Jobs is already in submission order
-	}
-	keys := ctx.keyBuf[:0]
-	for _, j := range out {
-		m, r := j.RunningTasks()
-		if kind == mapKind {
-			keys = append(keys, m)
-		} else {
-			keys = append(keys, r)
-		}
-	}
-	ctx.keyBuf = keys
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && keys[k] < keys[k-1]; k-- {
-			keys[k], keys[k-1] = keys[k-1], keys[k]
-			out[k], out[k-1] = out[k-1], out[k]
-		}
-	}
-	return out
-}
-
-// reduceEligible applies the slowstart gate: a job's reduces may launch
-// only once enough map work has completed.
-func reduceEligible(ctx *Context, j *job.Job) bool {
-	return j.MapProgress() >= ctx.Slowstart
+	return placement.OrderJobs(ctx.request(), policy, kind)
 }

@@ -3,19 +3,21 @@ package sched
 import (
 	"testing"
 
+	"mapsched/internal/cluster"
 	"mapsched/internal/core"
 	"mapsched/internal/hdfs"
 	"mapsched/internal/job"
+	"mapsched/internal/placement"
 	"mapsched/internal/sim"
 	"mapsched/internal/topology"
 )
 
-// fixture builds a 2-rack/4-node-per-rack cluster with a cost model and a
-// deterministic RNG.
+// fixture builds a 2-rack/4-node-per-rack cluster with a placement
+// decision service and a deterministic RNG.
 type fixture struct {
 	net   *topology.Cluster
 	store *hdfs.Store
-	cost  *core.CostModel
+	place *placement.Service
 	env   Env
 	rng   *sim.RNG
 }
@@ -31,12 +33,18 @@ func newFixture(t *testing.T) *fixture {
 	}
 	rng := sim.NewRNG(7)
 	store := hdfs.NewStore(net, rng.Fork("hdfs"))
-	cost, err := core.NewCostModel(net, store, net, core.ModeHops)
+	state, err := cluster.New(net.Size(), 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &fixture{net: net, store: store, cost: cost, rng: rng}
-	f.env = Env{Net: net, Cost: cost, RNG: rng.Fork("sched")}
+	place, err := placement.NewService(placement.Deps{
+		Net: net, Store: store, Rate: net, Slots: state, Mode: core.ModeHops,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{net: net, store: store, place: place, rng: rng}
+	f.env = Env{Place: place, RNG: rng.Fork("sched")}
 	return f
 }
 
@@ -454,52 +462,6 @@ func TestNilEstimatorDefaults(t *testing.T) {
 	p := NewProbabilistic(cfg)(f.env).(*Probabilistic)
 	if p.cfg.Estimator == nil {
 		t.Fatal("nil estimator not defaulted")
-	}
-}
-
-// TestProbabilisticSweepEvictsUnderBalancedChurn pins the sweep trigger:
-// the coster cache must drop a departed job as soon as the live set
-// changes, even when one job leaves exactly as another arrives so the
-// cache size never exceeds the live-set size (the leak the old
-// "cache > live" trigger missed).
-func TestProbabilisticSweepEvictsUnderBalancedChurn(t *testing.T) {
-	f := newFixture(t)
-	s := NewProbabilistic(DefaultProbabilisticConfig())(f.env)
-	p := s.(*Probabilistic)
-
-	finishMaps := func(j *job.Job) *job.Job {
-		for _, m := range j.Maps {
-			m.State = job.TaskDone
-			m.Node = topology.NodeID(m.Index)
-			m.Progress = 1
-		}
-		j.DoneMaps = len(j.Maps)
-		return j
-	}
-	j1 := finishMaps(f.addJob(t, 1, []topology.NodeID{0}, 2))
-	j2 := finishMaps(f.addJob(t, 2, []topology.NodeID{1}, 2))
-	s.AssignReduce(ctxFor(j1, j2), 0)
-	if len(p.costerCache) != 2 {
-		t.Fatalf("cache holds %d jobs after first offer, want 2", len(p.costerCache))
-	}
-
-	// Balanced churn: j1 leaves, j3 arrives, live size stays 2.
-	j3 := finishMaps(f.addJob(t, 3, []topology.NodeID{2}, 2))
-	s.AssignReduce(ctxFor(j2, j3), 1)
-	if _, dead := p.costerCache[j1.ID]; dead {
-		t.Fatal("departed job survived a balanced-churn sweep")
-	}
-	for id := range p.costerCache {
-		if id != j2.ID && id != j3.ID {
-			t.Fatalf("cache holds unknown job %d", id)
-		}
-	}
-
-	// And again: every job-set change sweeps, not just size excursions.
-	j4 := finishMaps(f.addJob(t, 4, []topology.NodeID{3}, 2))
-	s.AssignReduce(ctxFor(j3, j4), 2)
-	if _, dead := p.costerCache[j2.ID]; dead {
-		t.Fatal("departed job survived the second balanced-churn sweep")
 	}
 }
 

@@ -34,6 +34,7 @@
 package mapsched
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -142,8 +143,50 @@ type options struct {
 	observers        []obs.Observer
 }
 
-// Option customizes Run.
+// Option customizes New, NewPlacementService and Replay.
 type Option func(*options)
+
+// ErrInvalidOption is wrapped by every option-domain error New and
+// NewPlacementService return, so callers can match the whole class with
+// errors.Is.
+var ErrInvalidOption = errors.New("invalid option")
+
+// buildOptions applies opts over the defaults and validates every value
+// against its domain; violations wrap ErrInvalidOption.
+func buildOptions(opts []Option) (options, error) {
+	o := options{seed: 1, pmin: 0.4, scale: 6, replication: 2}
+	for _, apply := range opts {
+		apply(&o)
+	}
+	switch {
+	case o.pmin < 0 || o.pmin > 1:
+		return o, fmt.Errorf("mapsched: %w: Pmin %v outside [0,1]", ErrInvalidOption, o.pmin)
+	case o.scale < 1:
+		return o, fmt.Errorf("mapsched: %w: scale %d must be >= 1", ErrInvalidOption, o.scale)
+	case o.replication < 1:
+		return o, fmt.Errorf("mapsched: %w: replication %d must be >= 1", ErrInvalidOption, o.replication)
+	case o.crossTrafficSet && o.crossTraffic < 0:
+		return o, fmt.Errorf("mapsched: %w: negative cross traffic %d", ErrInvalidOption, o.crossTraffic)
+	case o.storageSubsetSet && o.storageSubset < 0:
+		return o, fmt.Errorf("mapsched: %w: negative storage subset %d", ErrInvalidOption, o.storageSubset)
+	case o.hbExpirySet && o.hbExpiry < 0:
+		return o, fmt.Errorf("mapsched: %w: negative heartbeat expiry %v", ErrInvalidOption, o.hbExpiry)
+	}
+	return o, nil
+}
+
+// workloadOptions derives the workload shaping from the options.
+func (o *options) workloadOptions() workload.Options {
+	wo := workload.Options{
+		Scale:         o.scale,
+		Replication:   o.replication,
+		SubmitStagger: 1,
+	}
+	if o.storageSubsetSet && o.storageSubset > 0 {
+		wo.Placement = hdfs.Subset{K: o.storageSubset}
+	}
+	return wo
+}
 
 // WithSeed fixes the run's random seed (default 1); identical seeds give
 // bit-identical results.
@@ -257,18 +300,12 @@ type Simulation struct {
 // scheduler. The configuration is validated here, so errors surface
 // before any observer or runtime state exists.
 func New(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Simulation, error) {
-	o := options{seed: 1, pmin: 0.4, scale: 6, replication: 2}
-	for _, apply := range opts {
-		apply(&o)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	if len(defs) == 0 {
 		return nil, fmt.Errorf("mapsched: no jobs to run")
-	}
-	if o.crossTrafficSet && o.crossTraffic < 0 {
-		return nil, fmt.Errorf("mapsched: negative cross traffic %d", o.crossTraffic)
-	}
-	if o.storageSubsetSet && o.storageSubset < 0 {
-		return nil, fmt.Errorf("mapsched: negative storage subset %d", o.storageSubset)
 	}
 	cfg.Seed = o.seed
 	if o.costModeSet {
@@ -281,20 +318,9 @@ func New(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (
 		cfg.Faults = o.faultPlan
 	}
 	if o.hbExpirySet {
-		if o.hbExpiry < 0 {
-			return nil, fmt.Errorf("mapsched: negative heartbeat expiry %v", o.hbExpiry)
-		}
 		cfg.HeartbeatExpiry = o.hbExpiry
 	}
-	wo := workload.Options{
-		Scale:         o.scale,
-		Replication:   o.replication,
-		SubmitStagger: 1,
-	}
-	if o.storageSubsetSet && o.storageSubset > 0 {
-		wo.Placement = hdfs.Subset{K: o.storageSubset}
-	}
-	specs, err := workload.Specs(defs, wo)
+	specs, err := workload.Specs(defs, o.workloadOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -357,28 +383,3 @@ func (s *Simulation) Result() (*Result, error) {
 
 // Trace returns the task timeline of the simulation; call it after Run.
 func (s *Simulation) Trace() *Trace { return s.sim.Trace() }
-
-// Run simulates the given jobs on a cluster under the chosen scheduler
-// and returns the collected metrics.
-//
-// Deprecated: use New followed by Simulation.Run, which also supports
-// attaching observers.
-func Run(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, error) {
-	res, _, err := RunWithTrace(cfg, defs, kind, opts...)
-	return res, err
-}
-
-// RunWithTrace is Run plus the task timeline of the simulation.
-//
-// Deprecated: use New followed by Simulation.Run and Simulation.Trace.
-func RunWithTrace(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, *Trace, error) {
-	s, err := New(cfg, defs, kind, opts...)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := s.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return res, s.Trace(), nil
-}

@@ -12,8 +12,17 @@ func smallConfig() ClusterConfig {
 	return cfg
 }
 
+// runSim is the tests' shorthand for New followed by Simulation.Run.
+func runSim(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (*Result, error) {
+	s, err := New(cfg, defs, kind, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
 func TestRunQuickstart(t *testing.T) {
-	res, err := Run(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
+	res, err := runSim(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
 		WithSeed(1), WithScale(30))
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +40,7 @@ func TestRunQuickstart(t *testing.T) {
 
 func TestRunAllSchedulers(t *testing.T) {
 	for _, k := range []SchedulerKind{SchedulerProbabilistic, SchedulerCoupling, SchedulerFair} {
-		res, err := Run(smallConfig(), Batch(Grep), k, WithScale(30))
+		res, err := runSim(smallConfig(), Batch(Grep), k, WithScale(30))
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
@@ -43,7 +52,7 @@ func TestRunAllSchedulers(t *testing.T) {
 
 func TestRunDeterministicSeeds(t *testing.T) {
 	run := func() float64 {
-		res, err := Run(smallConfig(), Batch(Terasort), SchedulerProbabilistic,
+		res, err := runSim(smallConfig(), Batch(Terasort), SchedulerProbabilistic,
 			WithSeed(42), WithScale(30))
 		if err != nil {
 			t.Fatal(err)
@@ -56,7 +65,7 @@ func TestRunDeterministicSeeds(t *testing.T) {
 }
 
 func TestRunOptions(t *testing.T) {
-	res, err := Run(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
+	res, err := runSim(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
 		WithScale(40), WithPmin(0.2), WithReplication(3),
 		WithEstimator(core.Oracle{}), WithCostMode(ModeNetworkCondition),
 		WithCrossTraffic(5), WithDeterministic())
@@ -69,15 +78,15 @@ func TestRunOptions(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(smallConfig(), nil, SchedulerProbabilistic); err == nil {
+	if _, err := runSim(smallConfig(), nil, SchedulerProbabilistic); err == nil {
 		t.Fatal("empty workload accepted")
 	}
-	if _, err := Run(smallConfig(), Batch(Grep), SchedulerKind(99), WithScale(40)); err == nil {
+	if _, err := runSim(smallConfig(), Batch(Grep), SchedulerKind(99), WithScale(40)); err == nil {
 		t.Fatal("unknown scheduler accepted")
 	}
 	bad := DefaultClusterConfig()
 	bad.MapSlotsPerNode = 0
-	if _, err := Run(bad, Batch(Grep), SchedulerFair, WithScale(40)); err == nil {
+	if _, err := runSim(bad, Batch(Grep), SchedulerFair, WithScale(40)); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }
@@ -96,7 +105,7 @@ func TestTableIIPassthrough(t *testing.T) {
 
 func TestRunWithStorageSubset(t *testing.T) {
 	cfg := smallConfig()
-	res, err := Run(cfg, Batch(Terasort), SchedulerProbabilistic,
+	res, err := runSim(cfg, Batch(Terasort), SchedulerProbabilistic,
 		WithSeed(2), WithScale(40), WithStorageSubset(3))
 	if err != nil {
 		t.Fatal(err)
@@ -115,11 +124,16 @@ func TestRunWithStorageSubset(t *testing.T) {
 }
 
 func TestRunWithTraceExport(t *testing.T) {
-	res, tr, err := RunWithTrace(smallConfig(), Batch(Grep), SchedulerFair,
+	s, err := New(smallConfig(), Batch(Grep), SchedulerFair,
 		WithSeed(3), WithScale(40))
 	if err != nil {
 		t.Fatal(err)
 	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Trace()
 	if tr == nil || len(tr.Tasks) == 0 {
 		t.Fatal("empty trace")
 	}

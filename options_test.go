@@ -1,0 +1,65 @@
+package mapsched
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOptionDomains walks every With* option's rejection domain: out-of-
+// domain values make New fail with an error wrapping ErrInvalidOption,
+// and the domain boundaries stay accepted.
+func TestOptionDomains(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+		ok   bool
+	}{
+		{"pmin_negative", WithPmin(-0.01), false},
+		{"pmin_above_one", WithPmin(1.01), false},
+		{"pmin_zero", WithPmin(0), true},
+		{"pmin_one", WithPmin(1), true},
+		{"scale_zero", WithScale(0), false},
+		{"scale_negative", WithScale(-3), false},
+		{"scale_one", WithScale(1), true},
+		{"replication_zero", WithReplication(0), false},
+		{"replication_negative", WithReplication(-1), false},
+		{"replication_one", WithReplication(1), true},
+		{"cross_traffic_negative", WithCrossTraffic(-1), false},
+		{"cross_traffic_zero", WithCrossTraffic(0), true},
+		{"storage_subset_negative", WithStorageSubset(-1), false},
+		{"storage_subset_zero", WithStorageSubset(0), true},
+		{"heartbeat_expiry_negative", WithHeartbeatExpiry(-1), false},
+		{"heartbeat_expiry_zero", WithHeartbeatExpiry(0), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := buildOptions([]Option{tc.opt})
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("boundary value rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("out-of-domain value accepted")
+			}
+			if !errors.Is(err, ErrInvalidOption) {
+				t.Fatalf("error %v does not wrap ErrInvalidOption", err)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidOptions checks the typed error surfaces through
+// the public constructors, not just the option builder.
+func TestNewRejectsInvalidOptions(t *testing.T) {
+	if _, err := New(smallConfig(), Batch(Grep), SchedulerFair, WithPmin(2)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("New error = %v, want ErrInvalidOption", err)
+	}
+	if _, err := NewPlacementService(smallConfig(), Batch(Grep), WithScale(0)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("NewPlacementService error = %v, want ErrInvalidOption", err)
+	}
+	if _, err := Replay(smallConfig(), Batch(Grep), nil, WithReplication(0)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("Replay error = %v, want ErrInvalidOption", err)
+	}
+}

@@ -1,0 +1,342 @@
+package mapsched
+
+import (
+	"fmt"
+
+	"mapsched/internal/cluster"
+	"mapsched/internal/hdfs"
+	"mapsched/internal/job"
+	"mapsched/internal/obs"
+	"mapsched/internal/placement"
+	"mapsched/internal/sim"
+	"mapsched/internal/topology"
+	"mapsched/internal/workload"
+)
+
+// PlacementDecision is the full breakdown of one placement decision:
+// the Formula 1–5 quantities (transmission cost C, expected cost C_avg,
+// acceptance probability P against the P_min threshold), the draw
+// outcome, and the delta epoch the decision observed. When Assigned is
+// false the slot stays idle and Job/Task identify nothing.
+type PlacementDecision struct {
+	// Assigned reports whether a task was placed.
+	Assigned bool
+	// Job and Task identify the placed task; Kind is "map" or "reduce".
+	Job  string
+	Task int
+	Kind string
+	// Node is the node the slot was offered on.
+	Node int
+
+	// C, CAvg, P, PMin are the decision quantities of Formulas 1–5.
+	C, CAvg, P, PMin float64
+	// Draw names the outcome: "local", "local_fallback", "accept",
+	// "deterministic", "below_pmin" or "decline".
+	Draw string
+	// Epoch is the service delta epoch the decision was computed at.
+	Epoch uint64
+}
+
+// PlacementService is the paper's placement rule served standalone —
+// no discrete-event engine, no simulated clock. It owns a synthetic
+// cluster (topology, replicated block store, slot state) built from
+// the public configuration and answers placement questions about the
+// configured jobs while the caller drives cluster state through
+// explicit deltas.
+//
+// Concurrency: the delta methods (Commit, Complete, SetNodeOffline,
+// SetNodeBlacklisted, SetLinkFactor, LoseNodeReplicas) are safe for
+// concurrent use. The decision methods form one session and must not
+// be called concurrently with each other; concurrent decision sessions
+// over one shared state are an internal-API feature (see
+// internal/placement and DESIGN.md §15).
+type PlacementService struct {
+	svc       *placement.Service
+	dec       *placement.Decider
+	jobs      []*job.Job
+	byName    map[string]*job.Job
+	slowstart float64
+	req       placement.Request
+}
+
+// NewPlacementService builds a standalone decision service for the
+// given jobs on a synthetic cluster. The workload options (WithSeed,
+// WithScale, WithReplication, WithStorageSubset) shape the cluster and
+// its block placements exactly as New does; the scheduler options
+// (WithPmin, WithEstimator, WithDeterministic, WithCostMode) configure
+// the decision rule. Observers attached with WithObserver receive the
+// decision events with their C / C_avg / P breakdown.
+func NewPlacementService(cfg ClusterConfig, defs []JobDef, opts ...Option) (*PlacementService, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("mapsched: no jobs to place")
+	}
+	if o.costModeSet {
+		cfg.CostMode = o.costMode
+	}
+	specs, err := workload.Specs(defs, o.workloadOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	topo, err := topology.NewCluster(sim.NewEngine(), cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	root := sim.NewRNG(o.seed)
+	store := hdfs.NewStore(topo, root.Fork("hdfs"))
+	slots, err := cluster.New(topo.Size(), cfg.MapSlotsPerNode, cfg.ReduceSlotsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := placement.NewService(placement.Deps{
+		Net: topo, Store: store, Rate: topo, Slots: slots, Mode: cfg.CostMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stream := obs.NewStream()
+	for _, ob := range o.observers {
+		stream.Attach(ob)
+	}
+	pc := placement.DefaultConfig()
+	pc.Pmin = o.pmin
+	pc.Deterministic = o.deterministic
+	if o.estimator != nil {
+		pc.Estimator = o.estimator
+	}
+	p := &PlacementService{
+		svc:       svc,
+		dec:       placement.NewDecider(svc, pc, root.Fork("sched"), stream),
+		byName:    make(map[string]*job.Job, len(specs)),
+		slowstart: cfg.Slowstart,
+	}
+	rngJobs := root.Fork("jobs")
+	for i, spec := range specs {
+		j, err := job.New(job.ID(i+1), spec, store, rngJobs)
+		if err != nil {
+			return nil, err
+		}
+		p.jobs = append(p.jobs, j)
+		p.byName[spec.Name] = j
+	}
+	return p, nil
+}
+
+// Epoch returns the number of state deltas applied so far.
+func (p *PlacementService) Epoch() uint64 { return p.svc.Epoch() }
+
+// requestAt refreshes the service's decision request for a new offer.
+func (p *PlacementService) requestAt(now float64) *placement.Request {
+	v := p.svc.Snapshot()
+	p.req.Now = sim.Time(now)
+	p.req.Jobs = p.jobs
+	p.req.AvailMap, p.req.AvailReduce = v.AvailMap, v.AvailReduce
+	p.req.Slowstart = p.slowstart
+	return &p.req
+}
+
+// DecideMap runs Algorithm 1 for a free map slot on node at time now
+// and returns the decision with its full breakdown. The decision does
+// not change any state: call Commit to take it.
+func (p *PlacementService) DecideMap(now float64, node int) PlacementDecision {
+	m, out := p.dec.PlaceMap(p.requestAt(now), topology.NodeID(node))
+	d := decisionOf(out, node, "map")
+	if m != nil {
+		d.Assigned, d.Job, d.Task = true, m.Job.Spec.Name, m.Index
+	}
+	return d
+}
+
+// DecideReduce runs Algorithm 2 for a free reduce slot on node at time
+// now. Reduce decisions consume the jobs' current map progress, which
+// advances through Complete.
+func (p *PlacementService) DecideReduce(now float64, node int) PlacementDecision {
+	r, out := p.dec.PlaceReduce(p.requestAt(now), topology.NodeID(node))
+	d := decisionOf(out, node, "reduce")
+	if r != nil {
+		d.Assigned, d.Job, d.Task = true, r.Job.Spec.Name, r.Index
+	}
+	return d
+}
+
+// decisionOf copies an internal outcome into the public breakdown.
+func decisionOf(out placement.Outcome, node int, kind string) PlacementDecision {
+	return PlacementDecision{
+		Kind: kind, Node: node,
+		C: out.C, CAvg: out.CAvg, P: out.P, PMin: out.PMin,
+		Draw: out.Draw, Epoch: out.Epoch,
+	}
+}
+
+// task resolves a decision back to its task.
+func (p *PlacementService) task(d PlacementDecision) (*job.Job, *job.MapTask, *job.ReduceTask, error) {
+	if !d.Assigned {
+		return nil, nil, nil, fmt.Errorf("mapsched: decision placed no task")
+	}
+	j := p.byName[d.Job]
+	if j == nil {
+		return nil, nil, nil, fmt.Errorf("mapsched: unknown job %q", d.Job)
+	}
+	if d.Kind == "map" {
+		if d.Task < 0 || d.Task >= len(j.Maps) {
+			return nil, nil, nil, fmt.Errorf("mapsched: job %q has no map %d", d.Job, d.Task)
+		}
+		return j, j.Maps[d.Task], nil, nil
+	}
+	if d.Task < 0 || d.Task >= len(j.Reduces) {
+		return nil, nil, nil, fmt.Errorf("mapsched: job %q has no reduce %d", d.Job, d.Task)
+	}
+	return j, nil, j.Reduces[d.Task], nil
+}
+
+// Commit takes an assigned decision: the task starts running on the
+// decision's node and the slot is acquired, as one delta.
+func (p *PlacementService) Commit(d PlacementDecision) error {
+	_, m, r, err := p.task(d)
+	if err != nil {
+		return err
+	}
+	n := topology.NodeID(d.Node)
+	p.svc.Update(func() {
+		if m != nil {
+			if err = p.svc.Slots().Node(n).AcquireMap(); err == nil {
+				m.State, m.Node = job.TaskRunning, n
+			}
+			return
+		}
+		if err = p.svc.Slots().Node(n).AcquireReduce(); err == nil {
+			r.State, r.Node = job.TaskRunning, n
+		}
+	})
+	return err
+}
+
+// Complete finishes a committed task: it is marked done and its slot
+// released, as one delta.
+func (p *PlacementService) Complete(d PlacementDecision) error {
+	j, m, r, err := p.task(d)
+	if err != nil {
+		return err
+	}
+	n := topology.NodeID(d.Node)
+	p.svc.Update(func() {
+		if m != nil {
+			if m.State != job.TaskRunning {
+				err = fmt.Errorf("mapsched: map %d of %q is not running", d.Task, d.Job)
+				return
+			}
+			m.State, m.Progress = job.TaskDone, 1
+			j.DoneMaps++
+			p.svc.Slots().Node(n).ReleaseMap()
+			return
+		}
+		if r.State != job.TaskRunning {
+			err = fmt.Errorf("mapsched: reduce %d of %q is not running", d.Task, d.Job)
+			return
+		}
+		r.State = job.TaskDone
+		j.DoneReds++
+		p.svc.Slots().Node(n).ReleaseReduce()
+	})
+	return err
+}
+
+// checkNode bounds-checks a public node index.
+func (p *PlacementService) checkNode(node int) error {
+	if node < 0 || node >= p.svc.Slots().Size() {
+		return fmt.Errorf("mapsched: node %d out of range", node)
+	}
+	return nil
+}
+
+// SetNodeOffline marks a node dead (offline=true) or revived: an
+// offline node offers no slots and drops out of every candidate set.
+func (p *PlacementService) SetNodeOffline(node int, offline bool) error {
+	if err := p.checkNode(node); err != nil {
+		return err
+	}
+	p.svc.ApplyNodeOffline(topology.NodeID(node), offline)
+	return nil
+}
+
+// SetNodeBlacklisted marks a node as taking no new tasks (running ones
+// keep their slots), or clears the mark.
+func (p *PlacementService) SetNodeBlacklisted(node int, blacklisted bool) error {
+	if err := p.checkNode(node); err != nil {
+		return err
+	}
+	p.svc.ApplyNodeBlacklist(topology.NodeID(node), blacklisted)
+	return nil
+}
+
+// SetLinkFactor rescales a node's host access link capacity (1 restores
+// nominal); network-condition costs see the change immediately.
+func (p *PlacementService) SetLinkFactor(node int, factor float64) error {
+	if err := p.checkNode(node); err != nil {
+		return err
+	}
+	if factor <= 0 {
+		return fmt.Errorf("mapsched: link factor %v must be positive", factor)
+	}
+	return p.svc.ApplyLinkFactor(topology.NodeID(node), factor)
+}
+
+// LoseNodeReplicas drops every block replica hosted on a node (it died
+// with its disks) and returns how many were lost. Map costs reroute to
+// the surviving replicas on the next decision.
+func (p *PlacementService) LoseNodeReplicas(node int) (int, error) {
+	if err := p.checkNode(node); err != nil {
+		return 0, err
+	}
+	return p.svc.ApplyNodeReplicaLoss(topology.NodeID(node)), nil
+}
+
+// ReplayReport summarizes a Replay: how many recorded decisions were
+// re-derived engine-free and which, if any, disagreed.
+type ReplayReport = placement.ReplayReport
+
+// Replay re-derives the map placement decisions of a recorded event
+// log (a JSONLSink stream read back with ReadEventLog) without running
+// the simulation: the cluster and jobs are rebuilt from the same
+// configuration, defs and options the recording ran with, the recorded
+// task lifecycle is fed back in as state deltas, and every recorded
+// map decision's task and C / C_avg / P breakdown is recomputed and
+// checked bit-for-bit.
+//
+// Supported recordings are hop-cost, fault-free, speculation-free runs
+// (see internal/placement.Replay for why); others return an error.
+func Replay(cfg ClusterConfig, defs []JobDef, events []Event, opts ...Option) (*ReplayReport, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.costModeSet {
+		cfg.CostMode = o.costMode
+	}
+	if cfg.CostMode != ModeHops {
+		return nil, fmt.Errorf("mapsched: only hop-cost recordings are replayable")
+	}
+	specs, err := workload.Specs(defs, o.workloadOptions())
+	if err != nil {
+		return nil, err
+	}
+	pc := placement.DefaultConfig()
+	pc.Pmin = o.pmin
+	pc.Deterministic = o.deterministic
+	if o.estimator != nil {
+		pc.Estimator = o.estimator
+	}
+	return placement.Replay(placement.ReplayConfig{
+		Topology:           cfg.Topology,
+		MapSlotsPerNode:    cfg.MapSlotsPerNode,
+		ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+		Seed:               o.seed,
+		Specs:              specs,
+		Sched:              pc,
+	}, events)
+}

@@ -1,0 +1,89 @@
+package mapsched_test
+
+import (
+	"testing"
+
+	"mapsched"
+)
+
+// TestPlacementServiceLifecycle drives the standalone decision service
+// through a decide → commit → complete cycle and its error paths.
+func TestPlacementServiceLifecycle(t *testing.T) {
+	cfg := mapsched.DefaultClusterConfig()
+	cfg.Topology.Racks = 2
+	cfg.Topology.NodesPerRack = 4
+	svc, err := mapsched.NewPlacementService(cfg, mapsched.Batch(mapsched.Wordcount)[:2],
+		mapsched.WithSeed(1), mapsched.WithScale(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := svc.DecideMap(0, 0)
+	if !d.Assigned {
+		t.Fatalf("first offer on an idle cluster declined: %+v", d)
+	}
+	if d.P < 0 || d.P > 1 || d.PMin != 0.4 {
+		t.Fatalf("breakdown out of domain: %+v", d)
+	}
+	if err := svc.Commit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Complete(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Complete(d); err == nil {
+		t.Fatal("completing a finished task succeeded")
+	}
+	if err := svc.Commit(mapsched.PlacementDecision{}); err == nil {
+		t.Fatal("committing an unassigned decision succeeded")
+	}
+	if err := svc.SetNodeOffline(99, true); err == nil {
+		t.Fatal("offlining an unknown node succeeded")
+	}
+	if epoch := svc.Epoch(); epoch < 2 {
+		t.Fatalf("epoch = %d after commit+complete, want >= 2", epoch)
+	}
+
+	// Re-offering must not hand out the finished task again.
+	d2 := svc.DecideMap(1, 0)
+	if d2.Assigned && d2.Job == d.Job && d2.Task == d.Task && d2.Kind == d.Kind {
+		t.Fatal("finished task re-assigned")
+	}
+}
+
+// TestReplayPublicRoundTrip records a simulation through the public API
+// and replays its decision stream engine-free through the public API.
+func TestReplayPublicRoundTrip(t *testing.T) {
+	cfg := mapsched.DefaultClusterConfig()
+	cfg.Topology.Racks = 2
+	cfg.Topology.NodesPerRack = 4
+
+	var events []mapsched.Event
+	collect := mapsched.ObserverFunc(func(e mapsched.Event) { events = append(events, e) })
+	opts := []mapsched.Option{mapsched.WithSeed(5), mapsched.WithScale(40)}
+	sim, err := mapsched.New(cfg, mapsched.Batch(mapsched.Grep), mapsched.SchedulerProbabilistic,
+		append(opts, mapsched.WithObserver(collect))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := mapsched.Replay(cfg, mapsched.Batch(mapsched.Grep), events, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MapDecisions == 0 {
+		t.Fatal("no map decisions replayed")
+	}
+	if !rep.Ok() {
+		t.Fatalf("replay disagreed with the recording: %v", rep.Mismatches)
+	}
+
+	// Network-condition recordings are out of the replayable envelope.
+	cfg.CostMode = mapsched.ModeNetworkCondition
+	if _, err := mapsched.Replay(cfg, mapsched.Batch(mapsched.Grep), events, opts...); err == nil {
+		t.Fatal("netcond replay accepted")
+	}
+}

@@ -95,12 +95,12 @@ func TestOptionZeroValues(t *testing.T) {
 	// WithStorageSubset(0) must mean "whole cluster", i.e. behave exactly
 	// like not passing the option, not like a 0-node subset (which would
 	// error out in placement).
-	res0, err := Run(smallConfig(), Batch(Terasort), SchedulerProbabilistic,
+	res0, err := runSim(smallConfig(), Batch(Terasort), SchedulerProbabilistic,
 		WithSeed(2), WithScale(40), WithStorageSubset(0))
 	if err != nil {
 		t.Fatalf("WithStorageSubset(0): %v", err)
 	}
-	resDefault, err := Run(smallConfig(), Batch(Terasort), SchedulerProbabilistic,
+	resDefault, err := runSim(smallConfig(), Batch(Terasort), SchedulerProbabilistic,
 		WithSeed(2), WithScale(40))
 	if err != nil {
 		t.Fatal(err)
@@ -115,12 +115,12 @@ func TestOptionZeroValues(t *testing.T) {
 // with observers attached is bit-identical to the same run without them.
 func TestObserverDoesNotChangeResult(t *testing.T) {
 	for _, kind := range []SchedulerKind{SchedulerProbabilistic, SchedulerCoupling, SchedulerFair} {
-		plain, err := Run(smallConfig(), Batch(Wordcount), kind, WithSeed(7), WithScale(30))
+		plain, err := runSim(smallConfig(), Batch(Wordcount), kind, WithSeed(7), WithScale(30))
 		if err != nil {
 			t.Fatal(err)
 		}
 		events := 0
-		observed, err := Run(smallConfig(), Batch(Wordcount), kind, WithSeed(7), WithScale(30),
+		observed, err := runSim(smallConfig(), Batch(Wordcount), kind, WithSeed(7), WithScale(30),
 			WithObserver(ObserverFunc(func(Event) { events++ })))
 		if err != nil {
 			t.Fatal(err)
@@ -209,7 +209,7 @@ func TestEventLogDeterministic(t *testing.T) {
 // TestSummarySinkRates sanity-checks the streaming metrics on a real run.
 func TestSummarySinkRates(t *testing.T) {
 	sum := NewSummarySink()
-	if _, err := Run(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
+	if _, err := runSim(smallConfig(), Batch(Wordcount), SchedulerProbabilistic,
 		WithSeed(5), WithScale(30), WithObserver(sum)); err != nil {
 		t.Fatal(err)
 	}
