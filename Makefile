@@ -1,13 +1,14 @@
 # Development entry points. `make check` is the full gate run before
 # committing: vet, the schedlint static contracts, build, the complete
-# test suite under the race detector, and a short benchmark smoke
-# proving the perf-critical benches still run. `make bench`
-# regenerates BENCH_baseline.json and BENCH_scale.json.
+# test suite under the race detector, a short benchmark smoke proving
+# the perf-critical benches still run, and a short native-fuzz smoke
+# over the parser/decoder fuzz targets. `make bench` regenerates
+# BENCH_baseline.json and BENCH_scale.json.
 
 GO ?= go
 SCHEDLINT ?= bin/schedlint
 
-.PHONY: all build vet lint test race bench-smoke bench check experiments FORCE
+.PHONY: all build vet lint test race bench-smoke fuzz-smoke bench check experiments FORCE
 
 all: check
 
@@ -40,7 +41,8 @@ race:
 # cluster-scale selection bench runs its whole 100→5000-node grid so a
 # scaling regression in the class-collapsed hot path surfaces too, and
 # the placement-service bench exercises the concurrent decide path at
-# 1/4/8 readers before placement_guard.sh holds its p99 budget.
+# 1/4/8 readers before placement_guard.sh holds its p99 budget and
+# journal_guard.sh the journal-on delta budget.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCore_|BenchmarkTopology_FlowChurn' \
 		-benchmem -benchtime 200x .
@@ -52,13 +54,24 @@ bench-smoke:
 		-benchmem -benchtime 500x .
 	sh scripts/alloc_guard.sh
 	sh scripts/placement_guard.sh
+	sh scripts/journal_guard.sh
+
+# Short native-fuzz smoke over every parser/decoder fuzz target in the
+# tree: seeds plus a few seconds of mutation each, so a crash in the
+# journal decoder or the fault-plan DSL parser surfaces in CI without a
+# dedicated long-running fuzz job.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeJournal' -fuzztime 5s ./internal/placement
+	$(GO) test -run '^$$' -fuzz 'FuzzParsePlan' -fuzztime 5s ./internal/faults
+	$(GO) test -run '^$$' -fuzz 'FuzzCDF' -fuzztime 5s ./internal/metrics
+	$(GO) test -run '^$$' -fuzz 'FuzzAssignProb' -fuzztime 5s ./internal/core
 
 # Full benchmark pass; records results in BENCH_baseline.json and
 # the cluster-size trajectory in BENCH_scale.json.
 bench:
 	sh scripts/bench.sh
 
-check: vet lint build race bench-smoke
+check: vet lint build race bench-smoke fuzz-smoke
 
 # Regenerate the paper's tables and figures at the canonical scale.
 experiments:

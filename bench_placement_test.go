@@ -9,6 +9,7 @@ package mapsched
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -145,6 +146,36 @@ func BenchmarkPlacement_Decide(b *testing.B) {
 			b.ReportMetric(float64(allLats[total/2]), "p50_ns")
 			b.ReportMetric(float64(allLats[total*99/100]), "p99_ns")
 			b.ReportMetric(float64(total)/elapsed.Seconds(), "decisions_per_sec")
+		})
+	}
+}
+
+// BenchmarkPlacement_Journal measures the write-ahead journal's cost on
+// the delta hot path: one slot acquire+release pair (two deltas) against
+// the same 5000-node service, with the journal detached (off) and
+// attached (on). The on/off ns/op difference is the journal-on overhead
+// BENCH metric; scripts/journal_guard.sh holds the journal-on budget.
+func BenchmarkPlacement_Journal(b *testing.B) {
+	const nodes = 5000
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			svc, _, _ := placementBenchFixture(b, nodes)
+			if mode == "on" {
+				if err := svc.StartJournal(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := topology.NodeID(i % nodes)
+				if err := svc.ApplySlotAcquire(placement.MapSlot, n); err != nil {
+					b.Fatal(err)
+				}
+				if err := svc.ApplySlotRelease(placement.MapSlot, n); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -13,30 +13,62 @@
 //
 // Only hop-cost, fault-free, speculation-free probabilistic recordings
 // are replayable; anything else is rejected rather than replayed wrong.
+//
+// Exit codes: 0 when every decision matches, 1 on input or
+// configuration errors, 2 on usage errors, 3 when the stream replays
+// but decisions diverge, and 4 when the stream is outside the
+// replayable envelope — rejected streams also print a single
+// machine-readable line on stderr:
+//
+//	mrreplay: status=not_replayable reason="..."
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mapsched"
 )
 
+// Exit codes past the conventional 0/1/2: diverged decision streams and
+// rejected (unreplayable) recordings are distinct, scriptable verdicts.
+const (
+	exitDiverged      = 3
+	exitNotReplayable = 4
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its edges cut for testing: args are the command-line
+// arguments after the program name, and the returned int is the exit
+// code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mrreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wlName = flag.String("workload", "wordcount", "batch the recording ran: wordcount, terasort, grep")
-		scale  = flag.Int("scale", 6, "workload scale divisor of the recording")
-		seed   = flag.Int64("seed", 1, "seed of the recording")
-		nodes  = flag.Int("nodes", 60, "nodes per rack of the recording")
-		racks  = flag.Int("racks", 1, "racks of the recording")
-		pmin   = flag.Float64("pmin", 0.4, "P_min threshold of the recording")
-		repl   = flag.Int("replication", 2, "HDFS replication factor of the recording")
+		wlName = fs.String("workload", "wordcount", "batch the recording ran: wordcount, terasort, grep")
+		scale  = fs.Int("scale", 6, "workload scale divisor of the recording")
+		seed   = fs.Int64("seed", 1, "seed of the recording")
+		nodes  = fs.Int("nodes", 60, "nodes per rack of the recording")
+		racks  = fs.Int("racks", 1, "racks of the recording")
+		pmin   = fs.Float64("pmin", 0.4, "P_min threshold of the recording")
+		repl   = fs.Int("replication", 2, "HDFS replication factor of the recording")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mrreplay [flags] run.events.jsonl")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mrreplay [flags] run.events.jsonl")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mrreplay:", err)
+		return 1
 	}
 
 	var batch []mapsched.JobDef
@@ -48,17 +80,17 @@ func main() {
 	case "grep":
 		batch = mapsched.Batch(mapsched.Grep)
 	default:
-		fatal(fmt.Errorf("unknown workload %q", *wlName))
+		return fail(fmt.Errorf("unknown workload %q", *wlName))
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	events, err := mapsched.ReadEventLog(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	cfg := mapsched.DefaultClusterConfig()
@@ -71,25 +103,24 @@ func main() {
 		mapsched.WithReplication(*repl),
 		mapsched.WithCostMode(mapsched.ModeHops),
 	)
+	if errors.Is(err, mapsched.ErrNotReplayable) {
+		fmt.Fprintf(stderr, "mrreplay: status=not_replayable reason=%q\n", err)
+		return exitNotReplayable
+	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("events:        %d\n", rep.Events)
-	fmt.Printf("state deltas:  %d\n", rep.Deltas)
-	fmt.Printf("map decisions: %d re-derived\n", rep.MapDecisions)
+	fmt.Fprintf(stdout, "events:        %d\n", rep.Events)
+	fmt.Fprintf(stdout, "state deltas:  %d\n", rep.Deltas)
+	fmt.Fprintf(stdout, "map decisions: %d re-derived\n", rep.MapDecisions)
 	if rep.Ok() {
-		fmt.Println("verdict:       faithful (every decision matches bit-for-bit)")
-		return
+		fmt.Fprintln(stdout, "verdict:       faithful (every decision matches bit-for-bit)")
+		return 0
 	}
-	fmt.Printf("verdict:       %d decisions disagree\n", len(rep.Mismatches))
+	fmt.Fprintf(stdout, "verdict:       %d decisions disagree\n", len(rep.Mismatches))
 	for _, m := range rep.Mismatches {
-		fmt.Printf("  %s\n", m)
+		fmt.Fprintf(stdout, "  %s\n", m)
 	}
-	os.Exit(1)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mrreplay:", err)
-	os.Exit(1)
+	return exitDiverged
 }

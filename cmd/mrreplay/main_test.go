@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mapsched"
+)
+
+// recordEvents runs a small hop-cost probabilistic simulation and
+// writes its JSONL event log to a temp file, returning the path.
+func recordEvents(t *testing.T, opts ...mapsched.Option) string {
+	t.Helper()
+	cfg := mapsched.DefaultClusterConfig()
+	cfg.Topology.Racks = 2
+	cfg.Topology.NodesPerRack = 4
+	path := filepath.Join(t.TempDir(), "run.events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := mapsched.NewJSONLSink(f)
+	all := append([]mapsched.Option{
+		mapsched.WithSeed(5), mapsched.WithScale(40), mapsched.WithCostMode(mapsched.ModeHops),
+	}, opts...)
+	sim, err := mapsched.New(cfg, mapsched.Batch(mapsched.Grep), mapsched.SchedulerProbabilistic, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Attach(sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunVerdictExitCodes pins the CLI contract: 0 for a faithful
+// stream, exitDiverged when decisions disagree, and exitNotReplayable
+// with a one-line machine-readable stderr reason for streams outside
+// the replayable envelope.
+func TestRunVerdictExitCodes(t *testing.T) {
+	flags := []string{"-workload", "grep", "-nodes", "4", "-racks", "2", "-scale", "40", "-seed", "5"}
+	clean := recordEvents(t)
+
+	var out, errb bytes.Buffer
+	if code := run(append(append([]string{}, flags...), clean), &out, &errb); code != 0 {
+		t.Fatalf("faithful stream exited %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "faithful") {
+		t.Fatalf("verdict missing: %s", out.String())
+	}
+
+	// The wrong seed rebuilds different block placements: the stream
+	// replays but the decisions diverge.
+	out.Reset()
+	errb.Reset()
+	wrongSeed := []string{"-workload", "grep", "-nodes", "4", "-racks", "2", "-scale", "40", "-seed", "6", clean}
+	if code := run(wrongSeed, &out, &errb); code != exitDiverged {
+		t.Fatalf("diverging stream exited %d, want %d\nstdout: %s", code, exitDiverged, out.String())
+	}
+
+	// A fault recording moves slots outside the task lifecycle: rejected
+	// with the distinct code and a machine-readable reason line.
+	plan, err := mapsched.ParseFaultPlan("crash:1@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := recordEvents(t, mapsched.WithFaultPlan(plan), mapsched.WithReplication(2))
+	out.Reset()
+	errb.Reset()
+	if code := run(append(append([]string{}, flags...), faulty), &out, &errb); code != exitNotReplayable {
+		t.Fatalf("fault stream exited %d, want %d\nstdout: %s\nstderr: %s", code, exitNotReplayable, out.String(), errb.String())
+	}
+	line := strings.TrimSpace(errb.String())
+	if !strings.HasPrefix(line, `mrreplay: status=not_replayable reason="`) || strings.Count(line, "\n") != 0 {
+		t.Fatalf("stderr is not the one-line machine-readable rejection: %q", line)
+	}
+
+	// Usage errors stay on the conventional code 2.
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("missing argument exited %d, want 2", code)
+	}
+}

@@ -12,11 +12,17 @@
 // The -faults spec is semicolon-separated, e.g.
 //
 //	-faults 'crash:3@60;slow:7@30+120*2.5;link:4@10+40*0.1;taskfail:0.02'
+//
+// Exit codes: 0 on success, 1 on configuration or simulation errors,
+// and 3 when the batch completed but one or more jobs failed
+// permanently (Result.FailedJobs > 0) — so fault-sweep scripting can
+// tell "the run broke" from "the run showed job loss".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,39 +31,58 @@ import (
 	"mapsched/internal/metrics"
 )
 
+// exitFailedJobs is returned when the simulation finished but left
+// permanently failed jobs behind.
+const exitFailedJobs = 3
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its edges cut for testing: args are the command-line
+// arguments after the program name, and the returned int is the exit
+// code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mrsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		schedName = flag.String("sched", "probabilistic", "scheduler: probabilistic, coupling, fair")
-		wlName    = flag.String("workload", "wordcount", "batch: wordcount, terasort, grep")
-		scale     = flag.Int("scale", 6, "workload scale divisor")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		nodes     = flag.Int("nodes", 60, "nodes per rack")
-		racks     = flag.Int("racks", 1, "number of racks")
-		pmin      = flag.Float64("pmin", 0.4, "P_min threshold (probabilistic scheduler)")
-		mode      = flag.String("mode", "netcond", "cost mode: hops or netcond")
-		cross     = flag.Int("crosstraffic", 0, "background cross-traffic flows")
-		faultSpec = flag.String("faults", "", "fault plan: crash:N@T; slow:N@T[+D]*F; link:N@T[+D]*F; replica:N@T; taskfail:P; attempts:N; blacklist:N")
-		hbExpiry  = flag.Float64("hb-expiry", 0, "heartbeat-expiry window in seconds (0 = 10x heartbeat interval)")
-		verbose   = flag.Bool("v", false, "print per-job rows")
-		traceOut  = flag.String("trace", "", "write a JSON task timeline to this file")
-		eventsOut = flag.String("events", "", "write a JSONL event log (scheduler decisions, tasks, flows) to this file")
-		obsSum    = flag.Bool("obs-summary", false, "print streaming observer metrics (locality/skip rates, waits, link volume)")
+		schedName = fs.String("sched", "probabilistic", "scheduler: probabilistic, coupling, fair")
+		wlName    = fs.String("workload", "wordcount", "batch: wordcount, terasort, grep")
+		scale     = fs.Int("scale", 6, "workload scale divisor")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		nodes     = fs.Int("nodes", 60, "nodes per rack")
+		racks     = fs.Int("racks", 1, "number of racks")
+		pmin      = fs.Float64("pmin", 0.4, "P_min threshold (probabilistic scheduler)")
+		mode      = fs.String("mode", "netcond", "cost mode: hops or netcond")
+		cross     = fs.Int("crosstraffic", 0, "background cross-traffic flows")
+		faultSpec = fs.String("faults", "", "fault plan: crash:N@T; slow:N@T[+D]*F; link:N@T[+D]*F; replica:N@T; taskfail:P; attempts:N; blacklist:N")
+		hbExpiry  = fs.Float64("hb-expiry", 0, "heartbeat-expiry window in seconds (0 = 10x heartbeat interval)")
+		verbose   = fs.Bool("v", false, "print per-job rows")
+		traceOut  = fs.String("trace", "", "write a JSON task timeline to this file")
+		eventsOut = fs.String("events", "", "write a JSONL event log (scheduler decisions, tasks, flows) to this file")
+		obsSum    = fs.Bool("obs-summary", false, "print streaming observer metrics (locality/skip rates, waits, link volume)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mrsim:", err)
+		return 1
+	}
 
 	kind, err := schedulerKind(*schedName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	batch, err := workloadBatch(*wlName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	costMode := mapsched.ModeNetworkCondition
 	if *mode == "hops" {
 		costMode = mapsched.ModeHops
 	} else if *mode != "netcond" {
-		fatal(fmt.Errorf("unknown cost mode %q", *mode))
+		return fail(fmt.Errorf("unknown cost mode %q", *mode))
 	}
 
 	cfg := mapsched.DefaultClusterConfig()
@@ -74,7 +99,7 @@ func main() {
 	if *faultSpec != "" {
 		plan, err := mapsched.ParseFaultPlan(*faultSpec)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		opts = append(opts, mapsched.WithFaultPlan(plan))
 	}
@@ -84,7 +109,7 @@ func main() {
 
 	sim, err := mapsched.New(cfg, batch, kind, opts...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	var eventLog *mapsched.JSONLSink
@@ -92,51 +117,51 @@ func main() {
 	if *eventsOut != "" {
 		eventFile, err = os.Create(*eventsOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		eventLog = mapsched.NewJSONLSink(eventFile)
 		if err := sim.Attach(eventLog); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	var summary *mapsched.SummarySink
 	if *obsSum {
 		summary = mapsched.NewSummarySink()
 		if err := sim.Attach(summary); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
 	res, err := sim.Run()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	tr := sim.Trace()
 
 	if eventLog != nil {
 		if err := eventLog.Flush(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := eventFile.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "event log written to %s\n", *eventsOut)
+		fmt.Fprintf(stderr, "event log written to %s\n", *eventsOut)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := tr.WriteJSON(f); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "trace written to %s (%d tasks)\n", *traceOut, len(tr.Tasks))
+		fmt.Fprintf(stderr, "trace written to %s (%d tasks)\n", *traceOut, len(tr.Tasks))
 	}
 	if summary != nil {
-		fmt.Println(summary.String())
+		fmt.Fprintln(stdout, summary.String())
 	}
 
 	if *verbose {
@@ -149,27 +174,32 @@ func main() {
 			t.AddRow(j.Name, j.NumMaps, j.NumReduces, comp,
 				fmt.Sprintf("%.1f%%", j.MapLocality.PercentNode()))
 		}
-		fmt.Println(t.String())
+		fmt.Fprintln(stdout, t.String())
 	}
 
 	cdf := res.JobCompletionCDF()
-	fmt.Printf("scheduler:          %s\n", res.Scheduler)
-	fmt.Printf("jobs:               %d (%d unfinished)\n", len(res.Jobs), res.Unfinished)
-	fmt.Printf("makespan:           %s\n", metrics.Seconds(res.Makespan))
-	fmt.Printf("job completion:     mean %s, median %s, max %s\n",
+	fmt.Fprintf(stdout, "scheduler:          %s\n", res.Scheduler)
+	fmt.Fprintf(stdout, "jobs:               %d (%d unfinished)\n", len(res.Jobs), res.Unfinished)
+	fmt.Fprintf(stdout, "makespan:           %s\n", metrics.Seconds(res.Makespan))
+	fmt.Fprintf(stdout, "job completion:     mean %s, median %s, max %s\n",
 		metrics.Seconds(cdf.Mean()), metrics.Seconds(cdf.Quantile(0.5)), metrics.Seconds(cdf.Max()))
-	fmt.Printf("map tasks:          %d, mean %s\n", len(res.MapTimes), metrics.Seconds(metrics.NewCDF(res.MapTimes).Mean()))
-	fmt.Printf("reduce tasks:       %d, mean %s\n", len(res.ReduceTimes), metrics.Seconds(metrics.NewCDF(res.ReduceTimes).Mean()))
-	fmt.Printf("map locality:       %.2f%% node, %.2f%% rack, %.2f%% remote\n",
+	fmt.Fprintf(stdout, "map tasks:          %d, mean %s\n", len(res.MapTimes), metrics.Seconds(metrics.NewCDF(res.MapTimes).Mean()))
+	fmt.Fprintf(stdout, "reduce tasks:       %d, mean %s\n", len(res.ReduceTimes), metrics.Seconds(metrics.NewCDF(res.ReduceTimes).Mean()))
+	fmt.Fprintf(stdout, "map locality:       %.2f%% node, %.2f%% rack, %.2f%% remote\n",
 		res.MapLocality.PercentNode(), res.MapLocality.PercentRack(), res.MapLocality.PercentRemote())
-	fmt.Printf("slot utilization:   map %.2f, reduce %.2f\n", res.MapUtilization, res.ReduceUtilization)
-	fmt.Printf("network volume:     map-in %.1f GB, shuffle %.1f GB remote / %.1f GB local\n",
+	fmt.Fprintf(stdout, "slot utilization:   map %.2f, reduce %.2f\n", res.MapUtilization, res.ReduceUtilization)
+	fmt.Fprintf(stdout, "network volume:     map-in %.1f GB, shuffle %.1f GB remote / %.1f GB local\n",
 		res.MapRemoteBytes/1e9, res.ShuffleRemoteBytes/1e9, res.ShuffleLocalBytes/1e9)
 	if res.FailedJobs > 0 || res.AttemptFailures > 0 || res.RelaunchedMaps > 0 ||
 		res.RelaunchedReduces > 0 || res.BlacklistedNodes > 0 {
-		fmt.Printf("fault recovery:     %d failed jobs, %d attempt failures, %d maps + %d reduces relaunched, %d nodes blacklisted\n",
+		fmt.Fprintf(stdout, "fault recovery:     %d failed jobs, %d attempt failures, %d maps + %d reduces relaunched, %d nodes blacklisted\n",
 			res.FailedJobs, res.AttemptFailures, res.RelaunchedMaps, res.RelaunchedReduces, res.BlacklistedNodes)
 	}
+	if res.FailedJobs > 0 {
+		fmt.Fprintf(stderr, "mrsim: %d jobs failed permanently (exit %d)\n", res.FailedJobs, exitFailedJobs)
+		return exitFailedJobs
+	}
+	return 0
 }
 
 func schedulerKind(name string) (mapsched.SchedulerKind, error) {
@@ -198,9 +228,4 @@ func workloadBatch(name string) ([]mapsched.JobDef, error) {
 	default:
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mrsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the CLI exit-code contract: 0 for a clean
+// batch, 1 for configuration errors, and the distinct exitFailedJobs
+// when the simulation completes but jobs failed permanently — the
+// signal fault-sweep scripting keys on.
+func TestRunExitCodes(t *testing.T) {
+	base := []string{"-nodes", "12", "-racks", "1", "-scale", "30", "-seed", "3", "-mode", "hops"}
+
+	var out, errb bytes.Buffer
+	if code := run(base, &out, &errb); code != 0 {
+		t.Fatalf("clean run exited %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "makespan:") {
+		t.Fatalf("summary missing from stdout: %s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-sched", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("bad scheduler exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown scheduler") {
+		t.Fatalf("stderr missing reason: %s", errb.String())
+	}
+
+	// Exhausting the attempt cap fails jobs (same recipe the fault-sweep
+	// tests pin at the library level) and must surface as exit 3.
+	out.Reset()
+	errb.Reset()
+	args := append(append([]string{}, base...), "-faults", "taskfail:0.6;attempts:2")
+	code := run(args, &out, &errb)
+	if code != exitFailedJobs {
+		t.Fatalf("failed-jobs run exited %d, want %d\nstdout: %s\nstderr: %s",
+			code, exitFailedJobs, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "failed jobs") {
+		t.Fatalf("fault-recovery line missing from stdout: %s", out.String())
+	}
+	if !strings.Contains(errb.String(), "failed permanently") {
+		t.Fatalf("stderr missing the failed-jobs reason: %s", errb.String())
+	}
+}

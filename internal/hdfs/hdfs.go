@@ -216,6 +216,38 @@ func (s *Store) RemoveNodeReplicas(n topology.NodeID) int {
 	return lost
 }
 
+// SetReplicas replaces block id's replica set with an exact copy of
+// nodes, preserving their order — Nearest breaks distance ties by slice
+// order, so restoring a checkpointed store must reproduce the order
+// bit-for-bit, not just the membership. Usage statistics are adjusted
+// and the epoch bumps. Out-of-range block or node IDs and duplicate
+// nodes are rejected with the state unchanged.
+func (s *Store) SetReplicas(id BlockID, nodes []topology.NodeID) error {
+	if int(id) < 0 || int(id) >= len(s.blocks) {
+		return fmt.Errorf("hdfs: no block %d", id)
+	}
+	seen := make(map[topology.NodeID]struct{}, len(nodes))
+	for _, n := range nodes {
+		if int(n) < 0 || int(n) >= s.net.Size() {
+			return fmt.Errorf("hdfs: replica on invalid node %d", n)
+		}
+		if _, dup := seen[n]; dup {
+			return fmt.Errorf("hdfs: duplicate replica on node %d", n)
+		}
+		seen[n] = struct{}{}
+	}
+	b := &s.blocks[id]
+	for _, r := range b.Replicas {
+		s.usage[r] -= b.Size
+	}
+	b.Replicas = append(make([]topology.NodeID, 0, len(nodes)), nodes...)
+	for _, r := range b.Replicas {
+		s.usage[r] += b.Size
+	}
+	s.epoch++
+	return nil
+}
+
 // Usage returns the bytes stored on node n across all replicas.
 func (s *Store) Usage(n topology.NodeID) float64 { return s.usage[n] }
 

@@ -5,24 +5,36 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Counter is a monotonically growing tally. The zero value is usable.
-// Counters are not synchronized: a simulation is single-threaded, and
-// parallel experiment runs each own a private registry.
+// Counter updates and reads are atomic (a float64 carried in a uint64
+// CAS loop), so background goroutines — the placement service's
+// invariant auditor — can tally next to a running simulation. Registry
+// lookups are NOT synchronized: create counters before sharing them
+// across goroutines.
 type Counter struct {
-	v float64
+	bits atomic.Uint64
 }
 
 // Inc adds 1.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds d (negative deltas are allowed for gauges-as-counters misuse,
 // but the registry renders whatever the final value is).
-func (c *Counter) Add(d float64) { c.v += d }
+func (c *Counter) Add(d float64) {
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
 
 // Value returns the current tally.
-func (c *Counter) Value() float64 { return c.v }
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
 
 // Histogram is a streaming distribution summary: fixed bucket boundaries
 // plus exact count/sum/min/max. It never stores samples, so observing is

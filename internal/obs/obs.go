@@ -49,6 +49,12 @@ const (
 	NodeBlacklist   Type = "node_blacklist"   // repeat-offender node removed from offers
 	ReplicaLoss     Type = "replica_loss"     // HDFS replicas removed from a node
 	JobFail         Type = "job_fail"         // a job terminated unsuccessfully
+
+	// Placement-service crash-safety events (internal/placement:
+	// journal, recovery, invariant auditor; DESIGN.md §16).
+	AuditPass      Type = "audit_pass"      // invariant audit found zero drift
+	AuditDrift     Type = "audit_drift"     // invariant audit detected state drift (Reason lists it)
+	JournalRecover Type = "journal_recover" // a service was rebuilt from checkpoint+journal
 )
 
 // TaskRef identifies one task within its job.

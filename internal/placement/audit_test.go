@@ -1,0 +1,146 @@
+package placement
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mapsched/internal/metrics"
+	"mapsched/internal/obs"
+	"mapsched/internal/topology"
+)
+
+// TestAuditCleanUnderDeltas runs the full delta vocabulary and audits
+// after every step: the incremental state must never drift from the
+// from-scratch rebuild.
+func TestAuditCleanUnderDeltas(t *testing.T) {
+	f, b1, _ := journalFixture(t)
+	if a := f.svc.Audit(); !a.Clean() || a.Checks < 6 {
+		t.Fatalf("fresh service: %s (checks=%d)", a, a.Checks)
+	}
+	steps := journalScript(t, f, b1)
+	a := f.svc.Audit()
+	if !a.Clean() {
+		t.Fatalf("after %d deltas: %s", steps, a)
+	}
+	if a.Epoch != f.svc.Epoch() {
+		t.Fatalf("audit ran at epoch %d, service at %d", a.Epoch, f.svc.Epoch())
+	}
+}
+
+// TestAuditDetectsDrift corrupts the incremental state behind the
+// service's back and checks the auditor reports it: mutating a block's
+// replica slice directly bypasses the store's usage bookkeeping (the
+// epoch-guarded mutation contract the schedlint analyzers enforce at
+// compile time — the auditor is its runtime backstop).
+func TestAuditDetectsDrift(t *testing.T) {
+	f, b1, _ := journalFixture(t)
+	f.store.Replicas(b1)[0] = 5 // moves the replica, usage stats not updated
+	a := f.svc.Audit()
+	if a.Clean() {
+		t.Fatal("auditor missed behind-the-back replica mutation")
+	}
+	found := false
+	for _, d := range a.Drift {
+		if strings.Contains(d, "store usage") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drift report %v does not name the store usage", a.Drift)
+	}
+
+	// A duplicated replica is a validity drift, not just a usage drift.
+	f2, _, _ := journalFixture(t)
+	wide, err := f2.store.AddBlock(64e6, 2, placeAt{nodes: []topology.NodeID{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := f2.store.Replicas(wide)
+	reps[1] = reps[0]
+	a2 := f2.svc.Audit()
+	found = false
+	for _, d := range a2.Drift {
+		if strings.Contains(d, "duplicate replica") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drift report %v does not flag the duplicate replica", a2.Drift)
+	}
+}
+
+// TestStartAuditorReportsThroughSinks runs the background auditor
+// against clean and drifted states and checks all three sinks: the
+// OnReport hook, the metrics counters and the obs stream.
+func TestStartAuditorReportsThroughSinks(t *testing.T) {
+	f, b1, _ := journalFixture(t)
+	reg := metrics.NewRegistry()
+	stream := obs.NewStream()
+	var mu sync.Mutex
+	var events []obs.Event
+	stream.Attach(obs.Func(func(e obs.Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}))
+
+	reports := make(chan AuditReport, 16)
+	stop := f.svc.StartAuditor(AuditorConfig{
+		Interval: time.Millisecond,
+		Stream:   stream,
+		Metrics:  reg,
+		OnReport: func(r AuditReport) {
+			select {
+			case reports <- r:
+			default:
+			}
+		},
+	})
+	r := <-reports
+	if !r.Clean() {
+		t.Fatalf("clean service audited dirty: %s", r)
+	}
+
+	// Inject drift and wait for the auditor to see it. Update gives the
+	// mutation the write lock (so the injection itself is race-free) but
+	// still bypasses the store's usage bookkeeping.
+	f.svc.Update(func() { f.store.Replicas(b1)[0] = 5 })
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case r = <-reports:
+		case <-deadline:
+			t.Fatal("auditor never reported the injected drift")
+		}
+		if !r.Clean() {
+			stop()
+			goto done
+		}
+	}
+done:
+	if reg.Counter("placement_audit_pass").Value() < 1 {
+		t.Fatal("no audit_pass counted")
+	}
+	if reg.Counter("placement_audit_drift").Value() < 1 {
+		t.Fatal("no audit_drift counted")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var sawPass, sawDrift bool
+	for _, e := range events {
+		switch e.Type {
+		case obs.AuditPass:
+			sawPass = true
+		case obs.AuditDrift:
+			sawDrift = true
+			if e.Reason == "" {
+				t.Fatal("audit_drift event carries no reason")
+			}
+		}
+	}
+	if !sawPass || !sawDrift {
+		t.Fatalf("stream saw pass=%v drift=%v, want both", sawPass, sawDrift)
+	}
+}

@@ -1,0 +1,464 @@
+// Kill/restart chaos harness: drive a recorded workload through the
+// decision service, kill the process state at randomized points, recover
+// from the checkpoint + journal, and prove the recovered service is
+// bit-identical to the uninterrupted run — same epochs, same decision
+// stream, same final state, zero invariant drift. The harness also
+// injects journal damage (truncated tails, duplicated and reordered
+// records) and checks the decoder classifies and survives each shape.
+package placement
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"mapsched/internal/obs"
+	"mapsched/internal/sim"
+)
+
+// TamperMode names a shape of journal damage the harness injects before
+// a recovery.
+type TamperMode string
+
+// Tamper modes. Truncate cuts bytes mid-record off the tail (the crash
+// shape); duplicate and reorder damage the middle of the stream, which
+// the seq chain must catch as corruption.
+const (
+	TamperNone      TamperMode = "none"
+	TamperTruncate  TamperMode = "truncate"
+	TamperDuplicate TamperMode = "duplicate"
+	TamperReorder   TamperMode = "reorder"
+)
+
+// ChaosConfig drives KillRestart.
+type ChaosConfig struct {
+	// Replay reconstructs the recorded cluster (see ReplayConfig).
+	Replay ReplayConfig
+	// Events is the recorded stream (the replay envelope applies:
+	// hop-mode, fault-free, speculation-free probabilistic runs).
+	Events []obs.Event
+	// Kills is the number of randomized kill/recover cycles (default 20).
+	Kills int
+	// CheckpointEvery checkpoints after every Nth delta (default 16).
+	CheckpointEvery uint64
+	// Seed seeds the chaos RNG (kill points, damage sites); the harness
+	// forks it under the "chaos" label, so runs are deterministic per
+	// seed.
+	Seed int64
+	// Tamper rotates journal damage across kills (none, truncate,
+	// duplicate, reorder). Off, every kill recovers a clean journal.
+	Tamper bool
+	// Stream, when non-nil, receives one journal_recover event per
+	// recovery.
+	Stream *obs.Stream
+}
+
+// ChaosKill describes one kill/recover cycle.
+type ChaosKill struct {
+	// Event is the stream index the service was killed before.
+	Event int
+	// Tamper is the damage injected ("none" also when the mode found no
+	// eligible site in a too-short journal).
+	Tamper TamperMode
+	// RecoveredEpoch and CheckpointEpoch are the recovery's landing
+	// points; Applied and Skipped count journal records past and inside
+	// the checkpoint.
+	RecoveredEpoch, CheckpointEpoch uint64
+	Applied, Skipped                int
+	// Resumed is the stream index the replay resumed from (re-deriving
+	// [Resumed, Event) a second time — the convergence window).
+	Resumed int
+}
+
+// ChaosReport is the harness verdict.
+type ChaosReport struct {
+	// Kills lists every kill/recover cycle in stream order.
+	Kills []ChaosKill
+	// Decisions counts the recorded map decisions of the workload;
+	// Rederived counts decisions derived a second time after a recovery
+	// and checked for convergence.
+	Decisions, Rederived int
+	// Violations lists every failed assertion: decision divergence,
+	// decision/recording mismatch, invariant drift, wrong damage
+	// verdict, or final-state divergence. Empty on success.
+	Violations []string
+}
+
+// Ok reports whether every assertion held.
+func (r *ChaosReport) Ok() bool { return len(r.Violations) == 0 }
+
+// String summarizes the run.
+func (r *ChaosReport) String() string {
+	if r.Ok() {
+		return fmt.Sprintf("chaos: %d kills, %d decisions (%d re-derived), all converged", len(r.Kills), r.Decisions, r.Rederived)
+	}
+	return fmt.Sprintf("chaos: %d kills, %d violations: %s", len(r.Kills), len(r.Violations), r.Violations[0])
+}
+
+// KillRestart runs the kill/restart chaos protocol:
+//
+//  1. Replay the recorded stream uninterrupted, collecting every derived
+//     decision and the final service state (the reference).
+//  2. Replay it again with a journal attached, killing the service at
+//     Kills randomized stream positions. At each kill the in-memory
+//     service and replayer are discarded; only the "disk" survives — the
+//     journal bytes (optionally tampered) and the latest checkpoint.
+//  3. Recover from disk, audit for drift, rebuild the client half of the
+//     state by replaying the stream prefix the recovery covers, and
+//     resume. Decisions between the recovered epoch and the kill point
+//     are derived twice — pre-crash and post-recovery — and must agree
+//     bit-for-bit.
+//  4. After the full stream, the chaos run's decision stream and final
+//     checkpoint must equal the reference's byte-for-byte.
+//
+// Recoveries alternate between appending to the surviving journal (after
+// truncating it to its valid prefix — exercising the begin-marker rewind)
+// and rotating: fresh checkpoint, fresh journal (the checkpoint-cut
+// discipline). A journal that recovered behind its checkpoint must
+// rotate, since its chain can no longer reach the checkpoint epoch.
+//
+// All randomness comes from a deterministic fork of Seed: the same
+// config reproduces the same kills, the same damage and the same report.
+func KillRestart(cfg ChaosConfig) (*ChaosReport, error) {
+	if cfg.Kills <= 0 {
+		cfg.Kills = 20
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 16
+	}
+	events := cfg.Events
+	if len(events) < 2 {
+		return nil, fmt.Errorf("placement: chaos: stream too short (%d events)", len(events))
+	}
+
+	// 1. Reference: the uninterrupted run.
+	refLines := make(map[int]string, 64)
+	refD, err := newReplayDeps(cfg.Replay)
+	if err != nil {
+		return nil, err
+	}
+	refSvc, err := NewService(refD.deps)
+	if err != nil {
+		return nil, err
+	}
+	ref := newReplayer(cfg.Replay, events, refD, refSvc)
+	ref.onDecision = func(i int, line string) { refLines[i] = line }
+	for i := range events {
+		if err := ref.step(i); err != nil {
+			return nil, err
+		}
+	}
+	if !ref.rep.Ok() {
+		return nil, fmt.Errorf("placement: chaos: recording does not replay cleanly: %s", ref.rep.Mismatches[0])
+	}
+	var refState bytes.Buffer
+	if err := refSvc.WriteCheckpoint(&refState); err != nil {
+		return nil, err
+	}
+
+	rep := &ChaosReport{Decisions: len(refLines)}
+	violate := func(format string, args ...any) {
+		if len(rep.Violations) < maxMismatches {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Kill schedule: distinct randomized stream positions (never 0 — the
+	// journal must exist before the first kill).
+	rng := sim.NewRNG(cfg.Seed).Fork("chaos")
+	killSet := make(map[int]bool, cfg.Kills)
+	for tries := 0; tries < 64*cfg.Kills && len(killSet) < cfg.Kills && len(killSet) < len(events)-1; tries++ {
+		killSet[1+rng.Intn(len(events)-1)] = true
+	}
+	kills := make([]int, 0, len(killSet))
+	for i := range killSet {
+		kills = append(kills, i)
+	}
+	sort.Ints(kills)
+	modes := []TamperMode{TamperNone, TamperTruncate, TamperDuplicate, TamperReorder}
+
+	// 2. The chaos run.
+	journal := &bytes.Buffer{}
+	var cpBytes []byte // latest checkpoint; nil before the first
+	d, err := newReplayDeps(cfg.Replay)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := NewService(d.deps)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.StartJournal(journal); err != nil {
+		return nil, err
+	}
+	r := newReplayer(cfg.Replay, events, d, svc)
+	lines := make(map[int]string, len(refLines))
+	converge := func(i int, line string) {
+		if prev, ok := lines[i]; ok {
+			rep.Rederived++
+			if prev != line {
+				violate("event %d: post-recovery decision %q, pre-crash decision %q", i, line, prev)
+			}
+		}
+		lines[i] = line
+	}
+	r.onDecision = converge
+	deltaIdx := make(map[uint64]int, 64) // delta epoch -> stream index of its event
+	lastEpoch := uint64(0)
+	nextKill := 0
+
+	for i := 0; i < len(events); i++ {
+		if nextKill < len(kills) && i == kills[nextKill] {
+			mode := TamperNone
+			if cfg.Tamper {
+				mode = modes[nextKill%len(modes)]
+			}
+
+			// Kill: the service and replayer die; the disk survives,
+			// possibly damaged.
+			jb, damaged := tamperJournal(journal.Bytes(), mode, rng)
+			if !damaged {
+				mode = TamperNone
+			}
+
+			// Decode first to learn where recovery will land, so the
+			// client-state prefix replay below knows where to stop.
+			dec, err := DecodeJournal(bytes.NewReader(jb))
+			if err != nil {
+				return nil, err
+			}
+			cpEpoch := uint64(0)
+			if cpBytes != nil {
+				cp, err := DecodeCheckpoint(bytes.NewReader(cpBytes))
+				if err != nil {
+					return nil, err
+				}
+				cpEpoch = cp.Epoch
+			}
+			recEpoch := dec.Epoch
+			if cpEpoch > recEpoch {
+				recEpoch = cpEpoch
+			}
+			switch {
+			case mode == TamperNone:
+				if dec.Err != nil {
+					violate("kill@%d: undamaged journal decoded with %v", i, dec.Err)
+				}
+			case mode == TamperTruncate:
+				if !errors.Is(dec.Err, ErrTruncatedTail) {
+					violate("kill@%d: truncated journal classified %v, want ErrTruncatedTail", i, dec.Err)
+				}
+			default:
+				if !errors.Is(dec.Err, ErrCorruptRecord) {
+					violate("kill@%d: %s damage classified %v, want ErrCorruptRecord", i, mode, dec.Err)
+				}
+			}
+
+			// Rebuild the client half: fresh deps, replay the stream
+			// prefix the recovery covers in statesOnly mode (jobs, tasks
+			// and blocks reconstruct deterministically from the seed).
+			resumeIdx := 0
+			if recEpoch > 0 {
+				idx, ok := deltaIdx[recEpoch]
+				if !ok {
+					return nil, fmt.Errorf("placement: chaos: no stream event recorded for delta epoch %d", recEpoch)
+				}
+				resumeIdx = idx + 1
+			}
+			d2, err := newReplayDeps(cfg.Replay)
+			if err != nil {
+				return nil, err
+			}
+			r2 := newReplayer(cfg.Replay, events, d2, nil)
+			r2.rep = r.rep // mismatch accounting spans recoveries
+			for p := 0; p < resumeIdx; p++ {
+				if err := r2.step(p); err != nil {
+					return nil, err
+				}
+			}
+
+			// Recover the service half from disk.
+			var cpr io.Reader
+			if cpBytes != nil {
+				cpr = bytes.NewReader(cpBytes)
+			}
+			rcv, err := Recover(d2.deps, cpr, bytes.NewReader(jb))
+			if err != nil {
+				return nil, err
+			}
+			if rcv.Epoch != recEpoch {
+				violate("kill@%d: recovered to epoch %d, decode predicted %d", i, rcv.Epoch, recEpoch)
+			}
+			if a := rcv.Service.Audit(); !a.Clean() {
+				violate("kill@%d: post-recovery drift: %s", i, a)
+			}
+			if cfg.Stream.Enabled() {
+				cfg.Stream.Emit(obs.Event{Type: obs.JournalRecover, Node: -1,
+					Reason: fmt.Sprintf("kill@%d tamper=%s epoch=%d applied=%d skipped=%d", i, mode, rcv.Epoch, rcv.Applied, rcv.Skipped)})
+			}
+
+			// Resume journaling. A journal that recovered behind its
+			// checkpoint must rotate; otherwise alternate between
+			// appending past the valid prefix (begin-marker rewind) and
+			// rotating at a fresh checkpoint cut.
+			if rcv.Epoch > dec.Epoch || nextKill%2 == 1 {
+				var cp bytes.Buffer
+				if err := rcv.Service.WriteCheckpoint(&cp); err != nil {
+					return nil, err
+				}
+				cpBytes = append([]byte(nil), cp.Bytes()...)
+				journal = &bytes.Buffer{}
+			} else {
+				journal = bytes.NewBuffer(append([]byte(nil), jb[:rcv.JournalValidBytes]...))
+			}
+			if err := rcv.Service.StartJournal(journal); err != nil {
+				return nil, err
+			}
+
+			rep.Kills = append(rep.Kills, ChaosKill{
+				Event: i, Tamper: mode,
+				RecoveredEpoch: rcv.Epoch, CheckpointEpoch: rcv.CheckpointEpoch,
+				Applied: rcv.Applied, Skipped: rcv.Skipped, Resumed: resumeIdx,
+			})
+
+			r2.attach(rcv.Service)
+			r2.onDecision = converge
+			r = r2
+			lastEpoch = rcv.Epoch
+			nextKill++
+			i = resumeIdx - 1 // loop increment resumes at resumeIdx
+			continue
+		}
+
+		if err := r.step(i); err != nil {
+			return nil, err
+		}
+		if e := r.svc.Epoch(); e > lastEpoch {
+			deltaIdx[e] = i
+			lastEpoch = e
+			if e%cfg.CheckpointEvery == 0 {
+				var cp bytes.Buffer
+				if err := r.svc.WriteCheckpoint(&cp); err != nil {
+					return nil, err
+				}
+				cpBytes = append(cpBytes[:0], cp.Bytes()...)
+			}
+		}
+	}
+
+	// 3. Verdicts: replay fidelity, decision-stream identity, final-state
+	// identity, zero drift.
+	for _, m := range r.rep.Mismatches {
+		violate("replay mismatch: %s", m)
+	}
+	for i := 0; i < len(events); i++ {
+		want, inRef := refLines[i]
+		got, inRun := lines[i]
+		if inRef != inRun || want != got {
+			violate("event %d: final decision %q, reference %q", i, got, want)
+		}
+	}
+	var finalState bytes.Buffer
+	if err := r.svc.WriteCheckpoint(&finalState); err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(finalState.Bytes(), refState.Bytes()) {
+		violate("final service state diverges from the uninterrupted run")
+	}
+	if a := r.svc.Audit(); !a.Clean() {
+		violate("final drift: %s", a)
+	}
+	return rep, nil
+}
+
+// tamperJournal damages a copy of the journal bytes per mode, reporting
+// whether damage was actually injected (short journals may offer no
+// eligible site). Eligible sites are chosen so the damage class is
+// deterministic: truncation always cuts mid-record; duplication and
+// reordering always break the seq chain with valid lines after the
+// break.
+func tamperJournal(jb []byte, mode TamperMode, rng *sim.RNG) ([]byte, bool) {
+	out := append([]byte(nil), jb...)
+	switch mode {
+	case TamperTruncate:
+		// Cut 2..len-1 bytes off the final record: at least the closing
+		// brace goes (cutting only the newline would leave a valid line),
+		// at least one byte stays (a clean full-line cut is not damage).
+		if len(out) == 0 {
+			return out, false
+		}
+		start := bytes.LastIndexByte(out[:len(out)-1], '\n') + 1
+		lineLen := len(out) - start
+		if lineLen < 3 {
+			return out, false
+		}
+		cut := 2 + rng.Intn(lineLen-2)
+		return out[:len(out)-cut], true
+
+	case TamperDuplicate:
+		// Duplicate a non-final delta record in place: the copy's seq
+		// repeats, breaking the chain with lines still following.
+		// (Duplicating a begin marker would legally rewind, not corrupt.)
+		lines := journalLines(out)
+		var elig []int
+		for i := 0; i+1 < len(lines); i++ {
+			if !isBeginLine(lines[i]) {
+				elig = append(elig, i)
+			}
+		}
+		if len(elig) == 0 {
+			return out, false
+		}
+		k := elig[rng.Intn(len(elig))]
+		dup := make([][]byte, 0, len(lines)+1)
+		dup = append(dup, lines[:k+1]...)
+		dup = append(dup, lines[k])
+		dup = append(dup, lines[k+1:]...)
+		return joinLines(dup), true
+
+	case TamperReorder:
+		// Swap two adjacent delta records: the earlier position now
+		// carries the later seq, breaking the chain mid-stream.
+		lines := journalLines(out)
+		var elig []int
+		for i := 0; i+1 < len(lines); i++ {
+			if !isBeginLine(lines[i]) && !isBeginLine(lines[i+1]) {
+				elig = append(elig, i)
+			}
+		}
+		if len(elig) == 0 {
+			return out, false
+		}
+		k := elig[rng.Intn(len(elig))]
+		lines[k], lines[k+1] = lines[k+1], lines[k]
+		return joinLines(lines), true
+	}
+	return out, false
+}
+
+// journalLines splits journal bytes into lines without trailing
+// newlines; joinLines is its inverse (every line newline-terminated).
+func journalLines(jb []byte) [][]byte {
+	lines := bytes.Split(jb, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+func joinLines(lines [][]byte) []byte {
+	var out bytes.Buffer
+	for _, l := range lines {
+		out.Write(l)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// isBeginLine detects begin markers without decoding (the encoder writes
+// compact JSON, so the op field appears verbatim).
+func isBeginLine(line []byte) bool {
+	return bytes.Contains(line, []byte(`"op":"begin"`))
+}

@@ -1,0 +1,103 @@
+package placement_test
+
+// The chaos harness test lives beside the replay round-trip test: it
+// records a real probabilistic run with the engine, then kills and
+// recovers the engine-free decision service across the stream.
+
+import (
+	"testing"
+
+	"mapsched/internal/obs"
+	"mapsched/internal/placement"
+)
+
+// chaosConfig records the shared workload and wraps it for KillRestart.
+func chaosConfig(t *testing.T) placement.ChaosConfig {
+	t.Helper()
+	cfg, specs, events := record(t, nil)
+	return placement.ChaosConfig{
+		Replay: placement.ReplayConfig{
+			Topology:           cfg.Topology,
+			MapSlotsPerNode:    cfg.MapSlotsPerNode,
+			ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+			Seed:               cfg.Seed,
+			Specs:              specs,
+			Sched:              placement.DefaultConfig(),
+		},
+		Events:          events,
+		Kills:           24, // acceptance floor is 20 randomized kill points
+		CheckpointEvery: 16,
+		Seed:            5,
+	}
+}
+
+// TestKillRestartConvergence is the acceptance run: two dozen randomized
+// kill/recover cycles over a recorded workload, every re-derived decision
+// byte-identical to its pre-crash line, final state byte-identical to the
+// uninterrupted run, zero drift after every recovery.
+func TestKillRestartConvergence(t *testing.T) {
+	cfg := chaosConfig(t)
+	rep, err := placement.KillRestart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations; first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	if len(rep.Kills) < 20 {
+		t.Fatalf("harness ran %d kills, acceptance needs >= 20", len(rep.Kills))
+	}
+	if rep.Decisions == 0 {
+		t.Fatal("workload recorded no map decisions to converge on")
+	}
+	if rep.Rederived == 0 {
+		t.Fatal("no decision was ever derived twice: the kills missed every convergence window")
+	}
+	for _, k := range rep.Kills {
+		if k.Resumed > k.Event {
+			t.Fatalf("kill@%d resumed at %d, past the kill point", k.Event, k.Resumed)
+		}
+		if k.RecoveredEpoch < k.CheckpointEpoch {
+			t.Fatalf("kill@%d recovered to epoch %d behind its checkpoint %d", k.Event, k.RecoveredEpoch, k.CheckpointEpoch)
+		}
+	}
+	t.Log(rep)
+}
+
+// TestKillRestartSurvivesTamper turns on journal damage: truncated tails,
+// duplicated and reordered records rotate across the kills, each must be
+// classified correctly and recovery must still converge. One
+// journal_recover event reaches the obs stream per kill.
+func TestKillRestartSurvivesTamper(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Tamper = true
+	stream := obs.NewStream()
+	recovers := 0
+	stream.Attach(obs.Func(func(e obs.Event) {
+		if e.Type == obs.JournalRecover {
+			recovers++
+		}
+	}))
+	cfg.Stream = stream
+
+	rep, err := placement.KillRestart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%d violations; first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	if recovers != len(rep.Kills) {
+		t.Fatalf("stream saw %d journal_recover events for %d kills", recovers, len(rep.Kills))
+	}
+	seen := map[placement.TamperMode]int{}
+	for _, k := range rep.Kills {
+		seen[k.Tamper]++
+	}
+	for _, m := range []placement.TamperMode{placement.TamperTruncate, placement.TamperDuplicate, placement.TamperReorder} {
+		if seen[m] == 0 {
+			t.Fatalf("damage rotation never exercised %s (saw %v)", m, seen)
+		}
+	}
+	t.Logf("%s; tamper mix %v", rep, seen)
+}

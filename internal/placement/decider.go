@@ -1,6 +1,8 @@
 package placement
 
 import (
+	"fmt"
+
 	"mapsched/internal/core"
 	"mapsched/internal/job"
 	"mapsched/internal/obs"
@@ -175,6 +177,10 @@ type Outcome struct {
 	// while the decision held the read lock — impossible under the
 	// locking contract, asserted by the concurrent stress test.
 	Torn bool
+	// Err is non-nil when the decision could not run at all — today only
+	// ErrDeciderInvalid, from a Decider whose cost model failed to
+	// build. No candidate was considered and no randomness consumed.
+	Err error
 }
 
 // Decider is one client's decision session against a Service: it owns
@@ -194,6 +200,10 @@ type Decider struct {
 	cfg Config
 	rng *sim.RNG
 	obs *obs.Stream
+
+	// err marks an invalid Decider (cost-model construction failed);
+	// decision methods return it through Outcome.Err.
+	err error
 
 	cost *core.CostModel
 
@@ -237,21 +247,29 @@ func NewDecider(svc *Service, cfg Config, rng *sim.RNG, stream *obs.Stream) *Dec
 	if cfg.Model == nil {
 		cfg.Model = core.Exponential{}
 	}
-	// The Service constructor validated the same inputs, so this cannot
-	// fail; each Decider gets its own model because the class-collapse
-	// scratch buffers inside are single-threaded.
-	cost, err := core.NewCostModel(svc.net, svc.store, svc.rate, svc.mode)
-	if err != nil {
-		panic("placement: " + err.Error())
-	}
 	d := &Decider{
 		svc:         svc,
 		cfg:         cfg,
 		rng:         rng,
 		obs:         stream,
-		cost:        cost,
 		costerCache: make(map[job.ID]costerEntry),
 	}
+	// Opening a session reads shared state (the store's distance epoch,
+	// link factors), so it takes the service read lock: sessions may open
+	// while delta writers are running.
+	svc.mu.RLock()
+	defer svc.mu.RUnlock()
+	// The Service constructor validated the same inputs, so this cannot
+	// fail today; each Decider gets its own model because the
+	// class-collapse scratch buffers inside are single-threaded. Should
+	// it ever fail, the Decider is invalid: decisions surface
+	// ErrDeciderInvalid through Outcome.Err instead of panicking.
+	cost, err := core.NewCostModel(svc.net, svc.store, svc.rate, svc.mode)
+	if err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrDeciderInvalid, err)
+		return d
+	}
+	d.cost = cost
 	if cfg.Naive {
 		d.mapCost = cost.Evaluator()
 	} else {
@@ -260,6 +278,9 @@ func NewDecider(svc *Service, cfg Config, rng *sim.RNG, stream *obs.Stream) *Dec
 	}
 	return d
 }
+
+// Err reports why the Decider is invalid (nil for a usable one).
+func (d *Decider) Err() error { return d.err }
 
 // Config returns the decision configuration the session runs under.
 func (d *Decider) Config() Config { return d.cfg }
@@ -433,6 +454,9 @@ type Evaluation struct {
 // It consumes no randomness, so it can be interleaved freely with
 // recorded decision streams.
 func (d *Decider) EvaluateMap(req *Request, node topology.NodeID) Evaluation {
+	if d.err != nil {
+		return Evaluation{}
+	}
 	d.svc.mu.RLock()
 	defer d.svc.mu.RUnlock()
 	s := d.scanMaps(req, node)
@@ -453,6 +477,10 @@ func (d *Decider) EvaluateMap(req *Request, node topology.NodeID) Evaluation {
 // placement exists. Returns the chosen task (nil when the slot stays
 // idle) and the full decision breakdown.
 func (d *Decider) PlaceMap(req *Request, node topology.NodeID) (m *job.MapTask, out Outcome) {
+	if d.err != nil {
+		out.Err = d.err
+		return nil, out
+	}
 	d.svc.mu.RLock()
 	defer d.svc.mu.RUnlock()
 	start := d.observeLocked()
@@ -561,6 +589,10 @@ func (d *Decider) PlaceReduce(req *Request, node topology.NodeID) (r *job.Reduce
 	// the cluster's nodes — a work-conserving second pass relaxes the
 	// rule, as any deployed scheduler must for jobs with more reduces than
 	// nodes.
+	if d.err != nil {
+		out.Err = d.err
+		return nil, out
+	}
 	d.svc.mu.RLock()
 	defer d.svc.mu.RUnlock()
 	start := d.observeLocked()

@@ -21,7 +21,7 @@ type fixture struct {
 	rng   *sim.RNG
 }
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t testing.TB) *fixture {
 	t.Helper()
 	spec := topology.DefaultSpec()
 	spec.Racks = 2
@@ -56,7 +56,7 @@ func (p placeAt) Place(topology.Network, *sim.RNG, int) []topology.NodeID {
 
 // addJob creates a job with one map per entry of blockNodes (each block
 // replicated on exactly the given node) and nReduces reduce tasks.
-func (f *fixture) addJob(t *testing.T, id job.ID, blockNodes []topology.NodeID, nReduces int) *job.Job {
+func (f *fixture) addJob(t testing.TB, id job.ID, blockNodes []topology.NodeID, nReduces int) *job.Job {
 	t.Helper()
 	j := &job.Job{ID: id, Spec: job.Spec{
 		Name: "test-job",
@@ -243,20 +243,20 @@ func TestServiceDeltasMoveEpochAndAvail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !f.svc.ApplyReplicaAdd(id, 4) {
-		t.Fatal("ApplyReplicaAdd of a new replica reported no change")
+	if added, err := f.svc.ApplyReplicaAdd(id, 4); err != nil || !added {
+		t.Fatalf("ApplyReplicaAdd of a new replica: added=%v err=%v", added, err)
 	}
-	if f.svc.ApplyReplicaAdd(id, 4) {
-		t.Fatal("duplicate ApplyReplicaAdd reported a change")
+	if added, err := f.svc.ApplyReplicaAdd(id, 4); err != nil || added {
+		t.Fatalf("duplicate ApplyReplicaAdd: added=%v err=%v", added, err)
 	}
-	if !f.svc.ApplyReplicaLoss(id, 1) {
-		t.Fatal("ApplyReplicaLoss of an existing replica reported no change")
+	if removed, err := f.svc.ApplyReplicaLoss(id, 1); err != nil || !removed {
+		t.Fatalf("ApplyReplicaLoss of an existing replica: removed=%v err=%v", removed, err)
 	}
 	if got := f.store.Replicas(id); len(got) != 1 || got[0] != 4 {
 		t.Fatalf("replicas after add+loss = %v, want [4]", got)
 	}
-	if n := f.svc.ApplyNodeReplicaLoss(4); n != 1 {
-		t.Fatalf("ApplyNodeReplicaLoss(4) removed %d replicas, want 1", n)
+	if n, err := f.svc.ApplyNodeReplicaLoss(4); err != nil || n != 1 {
+		t.Fatalf("ApplyNodeReplicaLoss(4) removed %d replicas (err %v), want 1", n, err)
 	}
 
 	if err := f.svc.ApplyLinkFactor(3, 0.5); err != nil {

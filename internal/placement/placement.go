@@ -30,6 +30,7 @@ package placement
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"mapsched/internal/cluster"
@@ -85,6 +86,15 @@ type Service struct {
 	// the value they observed so clients can order decisions against
 	// state updates.
 	epoch uint64
+
+	// journal, when attached via StartJournal, records every delta
+	// before it applies (see journal.go).
+	journal *journalWriter
+
+	// linkFactors tracks the current host-link scale factor per node
+	// (nil until the first ApplyLinkFactor) so checkpoints can capture
+	// non-nominal links.
+	linkFactors []float64
 }
 
 // NewService builds a decision service over the given state. The slot
@@ -192,87 +202,223 @@ func (k SlotKind) String() string {
 	return "map"
 }
 
+// nodeLocked resolves a delta's node ID against the cluster, rejecting
+// IDs outside it. Caller holds the write lock.
+func (s *Service) nodeLocked(n topology.NodeID) (*cluster.Node, error) {
+	if int(n) < 0 || int(n) >= s.slots.Size() {
+		return nil, fmt.Errorf("%w: node %d of %d", ErrUnknownNode, n, s.slots.Size())
+	}
+	return s.slots.Node(n), nil
+}
+
+// blockLocked validates a delta's block ID against the store.
+func (s *Service) blockLocked(id hdfs.BlockID) error {
+	if int(id) < 0 || int(id) >= s.store.NumBlocks() {
+		return fmt.Errorf("%w: block %d of %d", ErrUnknownBlock, id, s.store.NumBlocks())
+	}
+	return nil
+}
+
 // ApplySlotAcquire records that a task occupied a slot of the given
-// kind on node n (a placement decision was committed).
+// kind on node n (a placement decision was committed). The delta is
+// validated against current state first: an unknown node, an offline or
+// blacklisted node, or a node with no free slot of the kind rejects it
+// with a typed ErrDeltaConflict error and no state change.
 func (s *Service) ApplySlotAcquire(k SlotKind, n topology.NodeID) error {
+	return s.ApplySlotAcquireNoted(k, n, "", nil, nil)
+}
+
+// ApplySlotAcquireNoted is ApplySlotAcquire with a journal annotation
+// and client hooks, all under one write lock (one delta, one epoch):
+// after the service-level validation passes, pre (if non-nil) may
+// reject the delta with client-level validation; note is recorded in
+// the journal and surfaced by Recover; fn (if non-nil) runs after the
+// slot is acquired to mutate client-owned state the way Update would.
+func (s *Service) ApplySlotAcquireNoted(k SlotKind, n topology.NodeID, note string, pre func() error, fn func()) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var err error
-	if k == ReduceSlot {
-		err = s.slots.Node(n).AcquireReduce()
-	} else {
-		err = s.slots.Node(n).AcquireMap()
-	}
+	node, err := s.nodeLocked(n)
 	if err != nil {
 		return err
+	}
+	if node.Offline() || node.Blacklisted() {
+		return fmt.Errorf("%w: acquire on node %d", ErrNodeUnavailable, n)
+	}
+	free := node.FreeMapSlots()
+	if k == ReduceSlot {
+		free = node.FreeReduceSlots()
+	}
+	if free <= 0 {
+		return fmt.Errorf("%w: %s acquire on node %d", ErrNoFreeSlot, k, n)
+	}
+	if pre != nil {
+		if err := pre(); err != nil {
+			return err
+		}
+	}
+	if err := s.journalLocked(Record{Op: OpAcquire, Kind: k.String(), Node: int(n), Note: note}); err != nil {
+		return err
+	}
+	// Validation above guarantees the acquire succeeds, so the journal
+	// record written first cannot end up describing a rejected delta.
+	if k == ReduceSlot {
+		err = node.AcquireReduce()
+	} else {
+		err = node.AcquireMap()
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoFreeSlot, err)
+	}
+	if fn != nil {
+		fn()
 	}
 	s.applied()
 	return nil
 }
 
 // ApplySlotRelease records that a task freed a slot of the given kind
-// on node n (it finished or was killed).
-func (s *Service) ApplySlotRelease(k SlotKind, n topology.NodeID) {
+// on node n (it finished or was killed). A release without a matching
+// acquire is rejected with ErrSlotNotHeld (it used to panic deep in the
+// cluster state).
+func (s *Service) ApplySlotRelease(k SlotKind, n topology.NodeID) error {
+	return s.ApplySlotReleaseNoted(k, n, "", nil, nil)
+}
+
+// ApplySlotReleaseNoted is ApplySlotRelease with a journal annotation
+// and client hooks; see ApplySlotAcquireNoted for the contract.
+func (s *Service) ApplySlotReleaseNoted(k SlotKind, n topology.NodeID, note string, pre func() error, fn func()) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	node, err := s.nodeLocked(n)
+	if err != nil {
+		return err
+	}
+	held := node.UsedMapSlots()
 	if k == ReduceSlot {
-		s.slots.Node(n).ReleaseReduce()
+		held = node.UsedReduceSlots()
+	}
+	if held <= 0 {
+		return fmt.Errorf("%w: %s release on node %d", ErrSlotNotHeld, k, n)
+	}
+	if pre != nil {
+		if err := pre(); err != nil {
+			return err
+		}
+	}
+	if err := s.journalLocked(Record{Op: OpRelease, Kind: k.String(), Node: int(n), Note: note}); err != nil {
+		return err
+	}
+	if k == ReduceSlot {
+		node.ReleaseReduce()
 	} else {
-		s.slots.Node(n).ReleaseMap()
+		node.ReleaseMap()
+	}
+	if fn != nil {
+		fn()
 	}
 	s.applied()
+	return nil
 }
 
 // ApplyReplicaAdd records a new replica of block id on node n (e.g. a
-// re-replication finishing). Reports whether the replica set changed.
-func (s *Service) ApplyReplicaAdd(id hdfs.BlockID, n topology.NodeID) bool {
+// re-replication finishing). Reports whether the replica set changed —
+// adding a replica the node already holds is a no-op, not a conflict.
+// Unknown nodes and blocks are rejected.
+func (s *Service) ApplyReplicaAdd(id hdfs.BlockID, n topology.NodeID) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	added := s.store.AddReplica(id, n)
-	if added {
-		s.applied()
+	if _, err := s.nodeLocked(n); err != nil {
+		return false, err
 	}
-	return added
+	if err := s.blockLocked(id); err != nil {
+		return false, err
+	}
+	if s.store.HasReplica(id, n) {
+		return false, nil
+	}
+	if err := s.journalLocked(Record{Op: OpReplicaAdd, Block: int(id), Node: int(n)}); err != nil {
+		return false, err
+	}
+	s.store.AddReplica(id, n)
+	s.applied()
+	return true, nil
 }
 
 // ApplyReplicaLoss records the loss of block id's replica on node n
-// (disk failure, decommission). Reports whether a replica was removed.
-func (s *Service) ApplyReplicaLoss(id hdfs.BlockID, n topology.NodeID) bool {
+// (disk failure, decommission). Reports whether a replica was removed —
+// losing a replica the node does not hold is a no-op. Unknown nodes and
+// blocks are rejected.
+func (s *Service) ApplyReplicaLoss(id hdfs.BlockID, n topology.NodeID) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	removed := s.store.RemoveReplica(id, n)
-	if removed {
-		s.applied()
+	if _, err := s.nodeLocked(n); err != nil {
+		return false, err
 	}
-	return removed
+	if err := s.blockLocked(id); err != nil {
+		return false, err
+	}
+	if !s.store.HasReplica(id, n) {
+		return false, nil
+	}
+	if err := s.journalLocked(Record{Op: OpReplicaLoss, Block: int(id), Node: int(n)}); err != nil {
+		return false, err
+	}
+	s.store.RemoveReplica(id, n)
+	s.applied()
+	return true, nil
 }
 
 // ApplyNodeReplicaLoss drops every replica hosted on node n (the node
-// died with its disks). Returns the number of replicas removed.
-func (s *Service) ApplyNodeReplicaLoss(n topology.NodeID) int {
+// died with its disks). Returns the number of replicas removed; zero
+// removals still count as one applied delta, matching the journal.
+func (s *Service) ApplyNodeReplicaLoss(n topology.NodeID) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, err := s.nodeLocked(n); err != nil {
+		return 0, err
+	}
+	if err := s.journalLocked(Record{Op: OpNodeReplicaLoss, Node: int(n)}); err != nil {
+		return 0, err
+	}
 	removed := s.store.RemoveNodeReplicas(n)
 	s.applied()
-	return removed
+	return removed, nil
 }
 
 // ApplyNodeOffline marks node n dead (true) or revived (false): an
 // offline node offers no slots and drops out of the Avail sets.
-func (s *Service) ApplyNodeOffline(n topology.NodeID, off bool) {
+// Setting the flag to its current value is idempotent but still counts
+// as an applied delta.
+func (s *Service) ApplyNodeOffline(n topology.NodeID, off bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.slots.Node(n).SetOffline(off)
+	node, err := s.nodeLocked(n)
+	if err != nil {
+		return err
+	}
+	if err := s.journalLocked(Record{Op: OpOffline, Node: int(n), On: off}); err != nil {
+		return err
+	}
+	node.SetOffline(off)
 	s.applied()
+	return nil
 }
 
 // ApplyNodeBlacklist marks node n blacklisted (no new tasks, running
 // ones keep their slots) or clears the mark.
-func (s *Service) ApplyNodeBlacklist(n topology.NodeID, b bool) {
+func (s *Service) ApplyNodeBlacklist(n topology.NodeID, b bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.slots.Node(n).SetBlacklisted(b)
+	node, err := s.nodeLocked(n)
+	if err != nil {
+		return err
+	}
+	if err := s.journalLocked(Record{Op: OpBlacklist, Node: int(n), On: b}); err != nil {
+		return err
+	}
+	node.SetBlacklisted(b)
 	s.applied()
+	return nil
 }
 
 // Update runs fn under the write lock and counts it as one applied
@@ -282,25 +428,62 @@ func (s *Service) ApplyNodeBlacklist(n topology.NodeID, b bool) {
 // Store() directly but must not call other Service methods (they take
 // the same lock). The availability snapshots are rematerialized after
 // fn returns.
+//
+// With a journal attached the delta is recorded as an opaque update:
+// recovery bumps the epoch but cannot re-run fn, so journaled services
+// should describe the mutation through UpdateNoted and rebuild the
+// client state from the surfaced notes.
 func (s *Service) Update(fn func()) {
+	// The only possible failure is a broken journal; the epoch still
+	// advances so the caller's mutation stays ordered, matching the
+	// pre-journal contract of this method.
+	_ = s.UpdateNoted("", fn)
+}
+
+// UpdateNoted is Update with a journal annotation: note rides in the
+// journal record and is surfaced by Recover, letting the client replay
+// its half of the mutation. Returns ErrJournalBroken (delta rejected,
+// fn not run) when the journal append fails.
+func (s *Service) UpdateNoted(note string, fn func()) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.journalLocked(Record{Op: OpUpdate, Note: note}); err != nil {
+		return err
+	}
 	fn()
 	s.applied()
+	return nil
 }
 
 // ApplyLinkFactor rescales node n's host access link capacity by
-// factor (1 restores nominal). Only supported when the network exposes
-// runtime link scaling; network-condition costs then see the change
-// through the rate observer.
+// factor (1 restores nominal, 0 severs). Only supported when the
+// network exposes runtime link scaling; network-condition costs then
+// see the change through the rate observer. Unknown nodes, unsupported
+// networks and non-finite or negative factors are rejected.
 func (s *Service) ApplyLinkFactor(n topology.NodeID, factor float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, err := s.nodeLocked(n); err != nil {
+		return err
+	}
 	ls, ok := s.net.(linkScaler)
 	if !ok {
-		return fmt.Errorf("placement: network %T does not support link rescaling", s.net)
+		return fmt.Errorf("%w: network %T does not support link rescaling", ErrUnknownLink, s.net)
+	}
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 0 {
+		return fmt.Errorf("%w: %v", ErrBadLinkFactor, factor)
+	}
+	if err := s.journalLocked(Record{Op: OpLinkFactor, Node: int(n), F: factor}); err != nil {
+		return err
 	}
 	ls.SetHostLinkFactor(n, factor)
+	if s.linkFactors == nil {
+		s.linkFactors = make([]float64, s.slots.Size())
+		for i := range s.linkFactors {
+			s.linkFactors[i] = 1
+		}
+	}
+	s.linkFactors[n] = factor
 	s.applied()
 	return nil
 }

@@ -1,10 +1,13 @@
 package placement
 
 import (
+	"bytes"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"mapsched/internal/core"
 	"mapsched/internal/job"
 	"mapsched/internal/sim"
 	"mapsched/internal/topology"
@@ -123,6 +126,126 @@ func TestConcurrentReadersUnderDeltas(t *testing.T) {
 	if f.svc.Epoch() == 0 {
 		t.Fatal("writer applied no deltas")
 	}
+}
+
+// TestAuditorUnderDeltaChurn is the auditor-vs-writer-vs-reader stress
+// contract under the race detector: the background auditor rebuilds the
+// state from scratch while a journaling writer churns the full delta
+// vocabulary and readers keep deciding. Every audit must come back
+// clean (the writer only uses the public delta methods, so there is no
+// drift to find) and every decision untorn.
+func TestAuditorUnderDeltaChurn(t *testing.T) {
+	f := newFixture(t)
+	jobs := []*job.Job{f.addJob(t, 1, allNodes(8), 2)}
+	churn, err := f.store.AddBlock(64e6, 1, placeAt{nodes: []topology.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journal syncBuffer
+	if err := f.svc.StartJournal(&journal); err != nil {
+		t.Fatal(err)
+	}
+
+	var audits atomic.Int64
+	stopAuditor := f.svc.StartAuditor(AuditorConfig{
+		Interval: time.Microsecond, // audit as hot as the scheduler allows
+		OnReport: func(r AuditReport) {
+			audits.Add(1)
+			if !r.Clean() {
+				t.Errorf("auditor found drift in a delta-only run: %s", r)
+			}
+		},
+	})
+	defer stopAuditor()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the journaling writer
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := 0; i < 1500; i++ {
+			n := topology.NodeID(i % 8)
+			if err := f.svc.ApplySlotAcquire(MapSlot, n); err == nil {
+				f.svc.ApplySlotRelease(MapSlot, n)
+			}
+			switch i % 3 {
+			case 0:
+				f.svc.ApplyReplicaAdd(churn, topology.NodeID(1+i%7))
+			case 1:
+				f.svc.ApplyNodeReplicaLoss(topology.NodeID(1 + i%7))
+			case 2:
+				f.svc.ApplyLinkFactor(n, 0.5+float64(i%2))
+			}
+		}
+	}()
+	// Fork before spawning: forking shares the parent stream and is not
+	// part of the concurrency contract.
+	readerRNGs := []*sim.RNG{f.rng.Fork("audit-reader"), f.rng.Fork("audit-reader")}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			d := NewDecider(f.svc, DefaultConfig(), readerRNGs[r], nil)
+			req := &Request{Slowstart: 0.05}
+			for i := 0; !stop.Load() || i < 50; i++ {
+				v := f.svc.Snapshot()
+				req.Now = sim.Time(i)
+				req.Jobs = jobs
+				req.AvailMap, req.AvailReduce = v.AvailMap, v.AvailReduce
+				if _, out := d.PlaceMap(req, topology.NodeID(i%8)); out.Torn {
+					t.Errorf("reader %d: torn snapshot under auditor churn", r)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	stopAuditor()
+	if audits.Load() == 0 {
+		t.Fatal("auditor never ran")
+	}
+	// The synchronous hook agrees once the churn is over, and the journal
+	// the writer kept is a faithful recovery input.
+	if a := f.svc.Audit(); !a.Clean() {
+		t.Fatalf("final audit: %s", a)
+	}
+	f2 := newFixture(t) // same seed state: same job blocks, same churn block
+	f2.addJob(t, 1, allNodes(8), 2)
+	if _, err := f2.store.AddBlock(64e6, 1, placeAt{nodes: []topology.NodeID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(Deps{Net: f2.net, Store: f2.store, Rate: f2.net, Slots: f2.slots, Mode: core.ModeHops},
+		nil, bytes.NewReader(journal.bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Tail != nil || rec.Epoch != f.svc.Epoch() {
+		t.Fatalf("journal written under churn recovered to epoch %d (tail %v), writer at %d", rec.Epoch, rec.Tail, f.svc.Epoch())
+	}
+	if a := rec.Service.Audit(); !a.Clean() {
+		t.Fatalf("post-recovery drift: %s", a)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the service serializes
+// journal writes under its own lock, but the test also reads the buffer
+// afterwards and the race detector wants the handoff explicit.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
 }
 
 // TestEvaluateUnderDeltas drives the gate-free evaluation path (the

@@ -141,6 +141,8 @@ type options struct {
 	hbExpiry         float64
 	hbExpirySet      bool
 	observers        []obs.Observer
+	journal          io.Writer
+	journalSet       bool
 }
 
 // Option customizes New, NewPlacementService and Replay.
@@ -171,6 +173,8 @@ func buildOptions(opts []Option) (options, error) {
 		return o, fmt.Errorf("mapsched: %w: negative storage subset %d", ErrInvalidOption, o.storageSubset)
 	case o.hbExpirySet && o.hbExpiry < 0:
 		return o, fmt.Errorf("mapsched: %w: negative heartbeat expiry %v", ErrInvalidOption, o.hbExpiry)
+	case o.journalSet && o.journal == nil:
+		return o, fmt.Errorf("mapsched: %w: nil journal writer", ErrInvalidOption)
 	}
 	return o, nil
 }
@@ -245,6 +249,16 @@ func WithFaultPlan(p FaultPlan) Option {
 // heartbeat interval).
 func WithHeartbeatExpiry(seconds float64) Option {
 	return func(o *options) { o.hbExpiry = seconds; o.hbExpirySet = true }
+}
+
+// WithJournal attaches a crash-safe delta journal to a placement
+// service: every state delta (Commit, Complete, node health, links,
+// replicas) is appended to w as a CRC-protected JSONL record before it
+// applies. Together with WriteCheckpoint the journal lets
+// RecoverPlacementService rebuild the service after a crash. Only
+// NewPlacementService and RecoverPlacementService consume it.
+func WithJournal(w io.Writer) Option {
+	return func(o *options) { o.journal = w; o.journalSet = true }
 }
 
 // WithObserver attaches an event sink at construction time; equivalent to

@@ -2,6 +2,7 @@ package mapsched
 
 import (
 	"fmt"
+	"io"
 
 	"mapsched/internal/cluster"
 	"mapsched/internal/hdfs"
@@ -59,18 +60,24 @@ type PlacementService struct {
 	req       placement.Request
 }
 
-// NewPlacementService builds a standalone decision service for the
-// given jobs on a synthetic cluster. The workload options (WithSeed,
-// WithScale, WithReplication, WithStorageSubset) shape the cluster and
-// its block placements exactly as New does; the scheduler options
-// (WithPmin, WithEstimator, WithDeterministic, WithCostMode) configure
-// the decision rule. Observers attached with WithObserver receive the
-// decision events with their C / C_avg / P breakdown.
-func NewPlacementService(cfg ClusterConfig, defs []JobDef, opts ...Option) (*PlacementService, error) {
-	o, err := buildOptions(opts)
-	if err != nil {
-		return nil, err
-	}
+// placementParts is the deterministic base state both
+// NewPlacementService and RecoverPlacementService build from: identical
+// configuration and seed produce an identical base, which is what makes
+// a checkpoint+journal recovery land on the same state as the original
+// construction. The RNG forks are drawn in a fixed order (hdfs, sched,
+// jobs) so every consumer sees the same streams either way.
+type placementParts struct {
+	deps   placement.Deps
+	pc     placement.Config
+	sched  *sim.RNG
+	jobs   *sim.RNG
+	stream *obs.Stream
+	specs  []job.Spec
+}
+
+// buildPlacementParts validates the configuration and constructs the
+// synthetic cluster, block store, slot state and RNG forks.
+func buildPlacementParts(cfg ClusterConfig, defs []JobDef, o options) (*placementParts, error) {
 	if len(defs) == 0 {
 		return nil, fmt.Errorf("mapsched: no jobs to place")
 	}
@@ -81,7 +88,6 @@ func NewPlacementService(cfg ClusterConfig, defs []JobDef, opts ...Option) (*Pla
 	if err != nil {
 		return nil, err
 	}
-
 	topo, err := topology.NewCluster(sim.NewEngine(), cfg.Topology)
 	if err != nil {
 		return nil, err
@@ -92,13 +98,6 @@ func NewPlacementService(cfg ClusterConfig, defs []JobDef, opts ...Option) (*Pla
 	if err != nil {
 		return nil, err
 	}
-	svc, err := placement.NewService(placement.Deps{
-		Net: topo, Store: store, Rate: topo, Slots: slots, Mode: cfg.CostMode,
-	})
-	if err != nil {
-		return nil, err
-	}
-
 	stream := obs.NewStream()
 	for _, ob := range o.observers {
 		stream.Attach(ob)
@@ -109,20 +108,80 @@ func NewPlacementService(cfg ClusterConfig, defs []JobDef, opts ...Option) (*Pla
 	if o.estimator != nil {
 		pc.Estimator = o.estimator
 	}
-	p := &PlacementService{
-		svc:       svc,
-		dec:       placement.NewDecider(svc, pc, root.Fork("sched"), stream),
-		byName:    make(map[string]*job.Job, len(specs)),
-		slowstart: cfg.Slowstart,
-	}
-	rngJobs := root.Fork("jobs")
-	for i, spec := range specs {
-		j, err := job.New(job.ID(i+1), spec, store, rngJobs)
+	return &placementParts{
+		deps: placement.Deps{
+			Net: topo, Store: store, Rate: topo, Slots: slots, Mode: cfg.CostMode,
+		},
+		pc:     pc,
+		sched:  root.Fork("sched"),
+		jobs:   root.Fork("jobs"),
+		stream: stream,
+		specs:  specs,
+	}, nil
+}
+
+// buildJobs creates the job set, populating the block store — part of
+// the deterministic base, so recovery must run it before restoring a
+// checkpoint (the checkpoint's replica sets apply over these blocks).
+func (parts *placementParts) buildJobs() ([]*job.Job, map[string]*job.Job, error) {
+	jobs := make([]*job.Job, 0, len(parts.specs))
+	byName := make(map[string]*job.Job, len(parts.specs))
+	for i, spec := range parts.specs {
+		j, err := job.New(job.ID(i+1), spec, parts.deps.Store, parts.jobs)
 		if err != nil {
+			return nil, nil, err
+		}
+		jobs = append(jobs, j)
+		byName[spec.Name] = j
+	}
+	return jobs, byName, nil
+}
+
+// wire finishes a PlacementService around a constructed (or recovered)
+// service and an already-built job set.
+func (parts *placementParts) wire(svc *placement.Service, slowstart float64, jobs []*job.Job, byName map[string]*job.Job) *PlacementService {
+	return &PlacementService{
+		svc:       svc,
+		dec:       placement.NewDecider(svc, parts.pc, parts.sched, parts.stream),
+		jobs:      jobs,
+		byName:    byName,
+		slowstart: slowstart,
+	}
+}
+
+// NewPlacementService builds a standalone decision service for the
+// given jobs on a synthetic cluster. The workload options (WithSeed,
+// WithScale, WithReplication, WithStorageSubset) shape the cluster and
+// its block placements exactly as New does; the scheduler options
+// (WithPmin, WithEstimator, WithDeterministic, WithCostMode) configure
+// the decision rule. Observers attached with WithObserver receive the
+// decision events with their C / C_avg / P breakdown. WithJournal
+// attaches a crash-safe delta journal; see RecoverPlacementService.
+func NewPlacementService(cfg ClusterConfig, defs []JobDef, opts ...Option) (*PlacementService, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := buildPlacementParts(cfg, defs, o)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := placement.NewService(parts.deps)
+	if err != nil {
+		return nil, err
+	}
+	jobs, byName, err := parts.buildJobs()
+	if err != nil {
+		return nil, err
+	}
+	p := parts.wire(svc, cfg.Slowstart, jobs, byName)
+	// Jobs are created before the journal attaches: initial block
+	// placement is part of the deterministic base a recovery rebuilds,
+	// not a journaled delta.
+	if o.journal != nil {
+		if err := svc.StartJournal(o.journal); err != nil {
 			return nil, err
 		}
-		p.jobs = append(p.jobs, j)
-		p.byName[spec.Name] = j
 	}
 	return p, nil
 }
@@ -194,56 +253,82 @@ func (p *PlacementService) task(d PlacementDecision) (*job.Job, *job.MapTask, *j
 	return j, nil, j.Reduces[d.Task], nil
 }
 
+// taskNote encodes the client half of a committed or completed
+// decision into the journal annotation RecoverPlacementService parses
+// back.
+func taskNote(d PlacementDecision) string {
+	return fmt.Sprintf("%q %d", d.Job, d.Task)
+}
+
+// slotKindOf maps a decision's kind to the slot it occupies.
+func slotKindOf(m *job.MapTask) placement.SlotKind {
+	if m == nil {
+		return placement.ReduceSlot
+	}
+	return placement.MapSlot
+}
+
 // Commit takes an assigned decision: the task starts running on the
-// decision's node and the slot is acquired, as one delta.
+// decision's node and the slot is acquired, as one journaled delta.
+// Committing a task that is not pending, or onto a node with no free
+// slot (or offline/blacklisted), is rejected with a typed error and no
+// state change.
 func (p *PlacementService) Commit(d PlacementDecision) error {
 	_, m, r, err := p.task(d)
 	if err != nil {
 		return err
 	}
 	n := topology.NodeID(d.Node)
-	p.svc.Update(func() {
+	pre := func() error {
+		st := job.TaskState(0)
 		if m != nil {
-			if err = p.svc.Slots().Node(n).AcquireMap(); err == nil {
-				m.State, m.Node = job.TaskRunning, n
-			}
-			return
+			st = m.State
+		} else {
+			st = r.State
 		}
-		if err = p.svc.Slots().Node(n).AcquireReduce(); err == nil {
+		if st != job.TaskPending {
+			return fmt.Errorf("mapsched: %s %d of %q is not pending", d.Kind, d.Task, d.Job)
+		}
+		return nil
+	}
+	fn := func() {
+		if m != nil {
+			m.State, m.Node = job.TaskRunning, n
+		} else {
 			r.State, r.Node = job.TaskRunning, n
 		}
-	})
-	return err
+	}
+	return p.svc.ApplySlotAcquireNoted(slotKindOf(m), n, taskNote(d), pre, fn)
 }
 
 // Complete finishes a committed task: it is marked done and its slot
-// released, as one delta.
+// released, as one journaled delta. Completing a task that is not
+// running is rejected with no state change.
 func (p *PlacementService) Complete(d PlacementDecision) error {
 	j, m, r, err := p.task(d)
 	if err != nil {
 		return err
 	}
 	n := topology.NodeID(d.Node)
-	p.svc.Update(func() {
+	pre := func() error {
+		if m != nil && m.State != job.TaskRunning {
+			return fmt.Errorf("mapsched: map %d of %q is not running", d.Task, d.Job)
+		}
+		if m == nil && r.State != job.TaskRunning {
+			return fmt.Errorf("mapsched: reduce %d of %q is not running", d.Task, d.Job)
+		}
+		return nil
+	}
+	fn := func() {
 		if m != nil {
-			if m.State != job.TaskRunning {
-				err = fmt.Errorf("mapsched: map %d of %q is not running", d.Task, d.Job)
-				return
-			}
 			m.State, m.Progress = job.TaskDone, 1
 			j.DoneMaps++
-			p.svc.Slots().Node(n).ReleaseMap()
-			return
+		} else {
+			r.State = job.TaskDone
+			j.DoneReds++
 		}
-		if r.State != job.TaskRunning {
-			err = fmt.Errorf("mapsched: reduce %d of %q is not running", d.Task, d.Job)
-			return
-		}
-		r.State = job.TaskDone
-		j.DoneReds++
-		p.svc.Slots().Node(n).ReleaseReduce()
-	})
-	return err
+	}
+	return p.svc.ApplySlotReleaseNoted(slotKindOf(m), n, taskNote(d), pre, fn)
 }
 
 // checkNode bounds-checks a public node index.
@@ -260,8 +345,7 @@ func (p *PlacementService) SetNodeOffline(node int, offline bool) error {
 	if err := p.checkNode(node); err != nil {
 		return err
 	}
-	p.svc.ApplyNodeOffline(topology.NodeID(node), offline)
-	return nil
+	return p.svc.ApplyNodeOffline(topology.NodeID(node), offline)
 }
 
 // SetNodeBlacklisted marks a node as taking no new tasks (running ones
@@ -270,8 +354,7 @@ func (p *PlacementService) SetNodeBlacklisted(node int, blacklisted bool) error 
 	if err := p.checkNode(node); err != nil {
 		return err
 	}
-	p.svc.ApplyNodeBlacklist(topology.NodeID(node), blacklisted)
-	return nil
+	return p.svc.ApplyNodeBlacklist(topology.NodeID(node), blacklisted)
 }
 
 // SetLinkFactor rescales a node's host access link capacity (1 restores
@@ -293,8 +376,130 @@ func (p *PlacementService) LoseNodeReplicas(node int) (int, error) {
 	if err := p.checkNode(node); err != nil {
 		return 0, err
 	}
-	return p.svc.ApplyNodeReplicaLoss(topology.NodeID(node)), nil
+	return p.svc.ApplyNodeReplicaLoss(topology.NodeID(node))
 }
+
+// WriteCheckpoint writes a CRC-protected full-state snapshot of the
+// service (slot usage, node health, link factors, replica sets, delta
+// epoch) as one line to w. A checkpoint plus the journal records past
+// its epoch is a complete RecoverPlacementService input; callers
+// typically checkpoint periodically and rotate the journal at the same
+// cut.
+func (p *PlacementService) WriteCheckpoint(w io.Writer) error {
+	return p.svc.WriteCheckpoint(w)
+}
+
+// PlacementRecovery reports how a RecoverPlacementService call rebuilt
+// the service.
+type PlacementRecovery struct {
+	// Epoch is the recovered delta epoch; CheckpointEpoch the epoch the
+	// checkpoint captured (0 without one).
+	Epoch, CheckpointEpoch uint64
+	// Applied and Skipped count journal records re-applied and records
+	// already covered by the checkpoint.
+	Applied, Skipped int
+	// Tail is nil when the journal decoded cleanly; otherwise a typed
+	// error (a truncated tail is the normal crash shape) and the state
+	// recovered to the last valid record.
+	Tail error
+}
+
+// RecoverPlacementService rebuilds a crashed placement service from the
+// checkpoint and/or delta journal it wrote, given the same cfg, defs
+// and options the original was built with (the deterministic base the
+// durable state applies over). Task and job progress is restored from
+// the journaled Commit/Complete annotations. Either reader may be nil.
+//
+// Pass WithJournal to resume journaling — appending to the original
+// journal file is safe: the fresh begin marker logically truncates any
+// damaged tail.
+//
+// The recovered service's cluster state and decision inputs are
+// bit-identical to the crashed one's. The decision session itself
+// restarts, which re-seeds the Bernoulli draw stream — so the
+// post-recovery decision stream is guaranteed bit-identical to the
+// uninterrupted run under WithDeterministic (no draws); with draws the
+// decisions are identically distributed but may resolve differently.
+func RecoverPlacementService(cfg ClusterConfig, defs []JobDef, checkpoint, journal io.Reader, opts ...Option) (*PlacementService, *PlacementRecovery, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts, err := buildPlacementParts(cfg, defs, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The jobs (and their blocks) are the deterministic base the durable
+	// state applies over: build them before restoring the checkpoint.
+	jobs, byName, err := parts.buildJobs()
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := placement.Recover(parts.deps, checkpoint, journal)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := parts.wire(rec.Service, cfg.Slowstart, jobs, byName)
+	// Replay the client half of the journaled deltas: the notes written
+	// by Commit (acquire) and Complete (release) rebuild task states and
+	// job progress in order. The slot half was already re-applied by
+	// Recover.
+	for _, note := range rec.Notes {
+		var name string
+		var idx int
+		if _, err := fmt.Sscanf(note.Note, "%q %d", &name, &idx); err != nil {
+			return nil, nil, fmt.Errorf("mapsched: seq %d: bad task note %q: %v", note.Seq, note.Note, err)
+		}
+		j := p.byName[name]
+		if j == nil {
+			return nil, nil, fmt.Errorf("mapsched: seq %d: note names unknown job %q", note.Seq, name)
+		}
+		var m *job.MapTask
+		var r *job.ReduceTask
+		switch {
+		case note.Kind != "reduce" && idx >= 0 && idx < len(j.Maps):
+			m = j.Maps[idx]
+		case note.Kind == "reduce" && idx >= 0 && idx < len(j.Reduces):
+			r = j.Reduces[idx]
+		default:
+			return nil, nil, fmt.Errorf("mapsched: seq %d: note names unknown %s task %d of %q", note.Seq, note.Kind, idx, name)
+		}
+		switch note.Op {
+		case placement.OpAcquire:
+			if m != nil {
+				m.State, m.Node = job.TaskRunning, topology.NodeID(note.Node)
+			} else {
+				r.State, r.Node = job.TaskRunning, topology.NodeID(note.Node)
+			}
+		case placement.OpRelease:
+			if m != nil {
+				m.State, m.Progress = job.TaskDone, 1
+				j.DoneMaps++
+			} else {
+				r.State = job.TaskDone
+				j.DoneReds++
+			}
+		}
+	}
+	if o.journal != nil {
+		if err := rec.Service.StartJournal(o.journal); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, &PlacementRecovery{
+		Epoch:           rec.Epoch,
+		CheckpointEpoch: rec.CheckpointEpoch,
+		Applied:         rec.Applied,
+		Skipped:         rec.Skipped,
+		Tail:            rec.Tail,
+	}, nil
+}
+
+// ErrNotReplayable marks recordings outside the replayable envelope
+// (fault, speculation or network-condition streams): match with
+// errors.Is to distinguish "this stream cannot be verified" from a
+// malformed input.
+var ErrNotReplayable = placement.ErrNotReplayable
 
 // ReplayReport summarizes a Replay: how many recorded decisions were
 // re-derived engine-free and which, if any, disagreed.
@@ -319,7 +524,7 @@ func Replay(cfg ClusterConfig, defs []JobDef, events []Event, opts ...Option) (*
 		cfg.CostMode = o.costMode
 	}
 	if cfg.CostMode != ModeHops {
-		return nil, fmt.Errorf("mapsched: only hop-cost recordings are replayable")
+		return nil, fmt.Errorf("mapsched: %w: only hop-cost recordings are replayable", ErrNotReplayable)
 	}
 	specs, err := workload.Specs(defs, o.workloadOptions())
 	if err != nil {

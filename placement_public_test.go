@@ -1,6 +1,8 @@
 package mapsched_test
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"mapsched"
@@ -85,5 +87,101 @@ func TestReplayPublicRoundTrip(t *testing.T) {
 	cfg.CostMode = mapsched.ModeNetworkCondition
 	if _, err := mapsched.Replay(cfg, mapsched.Batch(mapsched.Grep), events, opts...); err == nil {
 		t.Fatal("netcond replay accepted")
+	}
+}
+
+// TestPlacementServiceCrashRecovery journals a lived-in service through
+// the public API, "crashes" it, and recovers from checkpoint + journal:
+// the rebuilt service carries the same epoch and task progress, and
+// under WithDeterministic its subsequent decision stream is
+// bit-identical to the uninterrupted original's.
+func TestPlacementServiceCrashRecovery(t *testing.T) {
+	cfg := mapsched.DefaultClusterConfig()
+	cfg.Topology.Racks = 2
+	cfg.Topology.NodesPerRack = 4
+	defs := mapsched.Batch(mapsched.Wordcount)[:2]
+	opts := []mapsched.Option{mapsched.WithSeed(3), mapsched.WithScale(40), mapsched.WithDeterministic()}
+
+	var journal bytes.Buffer
+	svc, err := mapsched.NewPlacementService(cfg, defs, append(opts, mapsched.WithJournal(&journal))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live a little: two committed tasks (one completed), a dead node, a
+	// degraded link — every delta journaled.
+	d1 := svc.DecideMap(0, 0)
+	if !d1.Assigned {
+		t.Fatalf("first offer declined: %+v", d1)
+	}
+	if err := svc.Commit(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Complete(d1); err != nil {
+		t.Fatal(err)
+	}
+	var checkpoint bytes.Buffer
+	if err := svc.WriteCheckpoint(&checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	d2 := svc.DecideMap(1, 1)
+	if !d2.Assigned {
+		t.Fatalf("second offer declined: %+v", d2)
+	}
+	if err := svc.Commit(d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetNodeOffline(5, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetLinkFactor(3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash. Only cfg/defs/opts and the two byte streams survive.
+	rec, rcv, err := mapsched.RecoverPlacementService(cfg, defs,
+		bytes.NewReader(checkpoint.Bytes()), bytes.NewReader(journal.Bytes()), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcv.Tail != nil {
+		t.Fatalf("clean journal recovered with tail error %v", rcv.Tail)
+	}
+	if rcv.Epoch != svc.Epoch() {
+		t.Fatalf("recovered epoch %d, original at %d", rcv.Epoch, svc.Epoch())
+	}
+	if rcv.CheckpointEpoch == 0 || rcv.Skipped == 0 || rcv.Applied == 0 {
+		t.Fatalf("recovery did not exercise checkpoint + journal: %+v", rcv)
+	}
+
+	// The journaled notes restored task progress: the running task can
+	// complete, the finished one cannot restart.
+	if err := rec.Complete(d2); err != nil {
+		t.Fatalf("completing the recovered running task: %v", err)
+	}
+	if err := svc.Complete(d2); err != nil { // keep the original in lockstep
+		t.Fatal(err)
+	}
+	if err := rec.Commit(d1); err == nil {
+		t.Fatal("recovered service re-committed a finished task")
+	}
+
+	// Deterministic decisions must now match offer for offer.
+	for node := 0; node < 8; node++ {
+		want := svc.DecideMap(2, node)
+		got := rec.DecideMap(2, node)
+		if want != got {
+			t.Fatalf("node %d: recovered decision %+v, original %+v", node, got, want)
+		}
+	}
+}
+
+// TestWithJournalRejectsNilWriter pins the option contract.
+func TestWithJournalRejectsNilWriter(t *testing.T) {
+	cfg := mapsched.DefaultClusterConfig()
+	_, err := mapsched.NewPlacementService(cfg, mapsched.Batch(mapsched.Grep)[:1],
+		mapsched.WithJournal(nil))
+	if !errors.Is(err, mapsched.ErrInvalidOption) {
+		t.Fatalf("WithJournal(nil) = %v, want ErrInvalidOption", err)
 	}
 }
