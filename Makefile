@@ -8,7 +8,7 @@
 GO ?= go
 SCHEDLINT ?= bin/schedlint
 
-.PHONY: all build vet lint test race bench-smoke fuzz-smoke bench check experiments FORCE
+.PHONY: all build vet lint lint-json lint-fix test race bench-smoke fuzz-smoke bench check experiments FORCE
 
 all: check
 
@@ -18,13 +18,29 @@ build:
 vet:
 	$(GO) vet ./...
 
-# schedlint statically enforces the simulator's determinism and cache
-# invalidation contracts (see DESIGN.md §12): nodeterminism, epochbump,
-# obsvocab and optflag, run through the `go vet` tool protocol.
+# schedlint statically enforces the simulator's determinism, cache
+# invalidation, concurrency and persistence contracts (see DESIGN.md
+# §12 and §17): nodeterminism, epochbump, poolreset, obsvocab,
+# optflag, lockheld, snapshotfree, deltajournal and errcmp, run
+# through the `go vet` tool protocol.
 $(SCHEDLINT): FORCE
 	$(GO) build -o $(SCHEDLINT) ./cmd/schedlint
 
 lint: $(SCHEDLINT)
+	$(GO) vet -vettool=$(SCHEDLINT) ./...
+
+# Machine-readable diagnostics (JSON with byte-offset suggested
+# fixes) for CI annotations; exits zero even with findings. The go
+# command routes the tool's JSON to stderr, so merge it onto stdout
+# to make the stream pipeable.
+lint-json: $(SCHEDLINT)
+	$(GO) vet -vettool=$(SCHEDLINT) -json ./... 2>&1
+
+# Apply the mechanical rewrites the analyzers suggest (errcmp's
+# errors.Is splices): emit JSON diagnostics, pipe them back into the
+# -apply subcommand, then re-lint to confirm the tree is clean.
+lint-fix: $(SCHEDLINT)
+	$(GO) vet -vettool=$(SCHEDLINT) -json ./... 2>&1 | $(SCHEDLINT) -apply
 	$(GO) vet -vettool=$(SCHEDLINT) ./...
 
 FORCE:

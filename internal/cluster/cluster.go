@@ -239,7 +239,11 @@ func (n *Node) ReleaseReduce() {
 // availState tracks one slot kind's availability set incrementally: a
 // monotonically increasing version (bumped on every membership change, so
 // downstream caches get an O(1) identity check), optional per-class member
-// counts, and a lazily rebuilt ID-ordered snapshot slice.
+// counts, and a lazily rebuilt ID-ordered snapshot slice. The cache
+// slice is handed out to readers and stays immutable once published:
+// only the //lint:publish rebuild/recount sites below may write here.
+//
+//lint:immutable-after-publish
 type availState struct {
 	version uint64
 	dirty   bool
@@ -251,6 +255,8 @@ type availState struct {
 
 // flip records that node id entered (free=true) or left the availability
 // set. O(1): the snapshot slice is only rebuilt when next requested.
+//
+//lint:publish availState
 func (a *availState) flip(id topology.NodeID, free bool) {
 	a.version++
 	a.dirty = true
@@ -266,6 +272,8 @@ func (a *availState) flip(id topology.NodeID, free bool) {
 // snapshot returns the ID-ordered availability slice, rebuilding it only
 // after membership changed. A fresh slice is allocated per rebuild so
 // snapshots held by earlier scheduler contexts stay immutable.
+//
+//lint:publish availState
 func (a *availState) snapshot(nodes []*Node, free func(*Node) bool) []topology.NodeID {
 	if a.cache == nil || a.dirty {
 		out := make([]topology.NodeID, 0, len(nodes))
@@ -283,6 +291,8 @@ func (a *availState) snapshot(nodes []*Node, free func(*Node) bool) []topology.N
 // setClasses installs (or clears) the class structure and recounts from
 // scratch; membership itself is unchanged but the version bumps so caches
 // that captured counts re-read them.
+//
+//lint:publish availState
 func (a *availState) setClasses(c *topology.Classes, nodes []*Node, free func(*Node) bool) {
 	a.classes = c
 	a.counts = nil

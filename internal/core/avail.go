@@ -9,7 +9,12 @@ import (
 // Avail is a snapshot of one slot kind's availability set (the N_m / N_r
 // of Formulas 4–5) together with the optional aggregates that let the
 // class-collapsed cost sums run in O(distance classes) instead of
-// O(nodes).
+// O(nodes). Avail values are shared with concurrent readers by shallow
+// copy — the slices alias the producer's published snapshot — so once
+// built they are never written again (the snapshotfree analyzer
+// enforces this in every client package).
+//
+//lint:immutable-after-publish
 type Avail struct {
 	// Nodes lists the members in ascending NodeID order. Consumers may
 	// binary-search it and must not mutate it.

@@ -1,0 +1,10 @@
+package deltajournal_test
+
+import (
+	"testing"
+
+	"mapsched/internal/lint/deltajournal"
+	"mapsched/internal/lint/linttest"
+)
+
+func TestDeltajournal(t *testing.T) { linttest.Run(t, deltajournal.Analyzer, "djour") }

@@ -1,0 +1,80 @@
+// Package djour exercises the journal symmetry contract, including
+// the PR 8 regression class: a decode switch missing a newly added op
+// constant, and a delta method that forgets to journal.
+package djour
+
+//lint:journal-ops
+type Op uint8
+
+const (
+	OpAcquire Op = iota
+	OpRelease
+	OpOffline
+	OpNoop // want `journal op "OpNoop" of "Op" is declared but never encoded`
+)
+
+type record struct {
+	op  Op
+	arg int
+}
+
+//lint:journaled
+type svc struct {
+	log []record
+}
+
+//lint:journal-append
+func (s *svc) journal(op Op, arg int) {
+	s.log = append(s.log, record{op: op, arg: arg})
+}
+
+func (s *svc) ApplyAcquire(n int) { s.journal(OpAcquire, n) }
+func (s *svc) ApplyRelease(n int) { s.journal(OpRelease, n) }
+
+// ApplyOffline reaches the append transitively through a helper.
+func (s *svc) ApplyOffline(n int) { s.offline(n) }
+func (s *svc) offline(n int)      { s.journal(OpOffline, n) }
+
+func (s *svc) ApplyForgot(n int) { // want `delta method "ApplyForgot" of journaled type "svc" never reaches a //lint:journal-append helper`
+	s.log = s.log[:0]
+}
+
+// Suppressed false positive: a read-only refresh has no delta to
+// journal, recorded with a scoped allow.
+//
+//lint:allow deltajournal read-only refresh, no delta to journal
+func (s *svc) UpdateView(n int) {}
+
+// decode reproduces the PR 8 missing-decode-case bug class: OpNoop
+// was added to the vocabulary but not here.
+//
+//lint:journal-exhaustive Op
+func decode(r record) int {
+	switch r.op { // want `journal-exhaustive switch over "Op" misses OpNoop`
+	case OpAcquire:
+		return 1
+	case OpRelease:
+		return 2
+	case OpOffline:
+		return 3
+	}
+	return 0
+}
+
+// apply legitimately skips OpNoop via the except clause.
+//
+//lint:journal-exhaustive Op except OpNoop
+func apply(r record) int {
+	switch r.op {
+	case OpAcquire, OpRelease:
+		return 1
+	case OpOffline:
+		return 2
+	}
+	return 0
+}
+
+//lint:journal-exhaustive Op
+func noSwitch(r record) int { // want `noSwitch declares //lint:journal-exhaustive Op but contains no switch over it`
+	return int(r.op)
+}

@@ -63,6 +63,148 @@ func TestFileAllows(t *testing.T) {
 	}
 }
 
+func TestHeaderAllows(t *testing.T) {
+	header := parse(t, "// Package p does things.\n//\n//lint:allow lockheld test double\npackage p\n")
+	if !directive.HeaderAllows(header, "lockheld") {
+		t.Error("package doc directive not recognized")
+	}
+
+	// A declaration-level allow must NOT become file-wide under the
+	// narrower header check — that is the whole point of scoping.
+	inner := parse(t, "package p\n\n//lint:allow lockheld constructor\nfunc f() {}\n")
+	if directive.HeaderAllows(inner, "lockheld") {
+		t.Error("declaration-level allow leaked to the whole file")
+	}
+}
+
+func TestGuardedMu(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	a  int //lint:guarded mu
+	//lint:guarded mu protects the delta epoch
+	b int
+	c int //lint:epoch-guarded
+	d int //lint:guardedish mu
+}
+`
+	f := parse(t, src)
+	want := map[string]string{"a": "mu", "b": "mu", "c": "", "d": ""}
+	st := f.Decls[1].(*ast.GenDecl).Specs[0].(*ast.TypeSpec).Type.(*ast.StructType)
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue
+		}
+		name := field.Names[0].Name
+		if w, ok := want[name]; ok {
+			if got := directive.GuardedMu(field); got != w {
+				t.Errorf("GuardedMu(%s) = %q, want %q", name, got, w)
+			}
+		}
+	}
+}
+
+func TestDeclAllowsAndLockedMu(t *testing.T) {
+	src := `package p
+
+//lint:allow lockheld escape hatch for embedded clients
+func f() {}
+
+//lint:locked mu
+func g() {}
+
+// plain doc
+func h() {}
+`
+	f := parse(t, src)
+	fd := func(i int) *ast.FuncDecl { return f.Decls[i].(*ast.FuncDecl) }
+	if !directive.DeclAllows(fd(0).Doc, "lockheld") {
+		t.Error("scoped allow not recognized")
+	}
+	if directive.DeclAllows(fd(0).Doc, "errcmp") {
+		t.Error("scoped allow leaked to an unnamed analyzer")
+	}
+	if got := directive.LockedMu(fd(1).Doc); got != "mu" {
+		t.Errorf("LockedMu = %q, want mu", got)
+	}
+	if got := directive.LockedMu(fd(2).Doc); got != "" {
+		t.Errorf("LockedMu on plain doc = %q, want empty", got)
+	}
+}
+
+func TestJournalDirectives(t *testing.T) {
+	src := `package p
+
+//lint:journal-ops
+type Op string
+
+//lint:journaled
+type Svc struct{}
+
+//lint:journal-append
+func appendRec() {}
+
+//lint:journal-exhaustive Op except OpBegin,OpNoop
+func decode() {}
+
+//lint:journal-exhaustive Op
+func apply() {}
+`
+	f := parse(t, src)
+	opDecl := f.Decls[0].(*ast.GenDecl)
+	if !directive.IsJournalOps(opDecl.Doc) {
+		t.Error("journal-ops marker not recognized")
+	}
+	svcDecl := f.Decls[1].(*ast.GenDecl)
+	if !directive.IsJournaled(svcDecl.Doc) {
+		t.Error("journaled marker not recognized")
+	}
+	if directive.IsJournalOps(svcDecl.Doc) {
+		t.Error("journaled misread as journal-ops")
+	}
+	if !directive.IsJournalAppend(f.Decls[2].(*ast.FuncDecl).Doc) {
+		t.Error("journal-append marker not recognized")
+	}
+	name, except := directive.JournalExhaustive(f.Decls[3].(*ast.FuncDecl).Doc)
+	if name != "Op" || !reflect.DeepEqual(except, []string{"OpBegin", "OpNoop"}) {
+		t.Errorf("JournalExhaustive = %q %v, want Op [OpBegin OpNoop]", name, except)
+	}
+	name, except = directive.JournalExhaustive(f.Decls[4].(*ast.FuncDecl).Doc)
+	if name != "Op" || except != nil {
+		t.Errorf("JournalExhaustive = %q %v, want Op []", name, except)
+	}
+}
+
+func TestImmutablePublishSentinel(t *testing.T) {
+	src := `package p
+
+//lint:immutable-after-publish
+type Avail struct{}
+
+//lint:publish Avail republish under the write lock
+func refresh() {}
+
+//lint:sentinel
+var errSentinel = nil
+`
+	f := parse(t, src)
+	if !directive.IsImmutableAfterPublish(f.Decls[0].(*ast.GenDecl).Doc) {
+		t.Error("immutable-after-publish marker not recognized")
+	}
+	if got := directive.PublishType(f.Decls[1].(*ast.FuncDecl).Doc); got != "Avail" {
+		t.Errorf("PublishType = %q, want Avail", got)
+	}
+	if !directive.IsSentinel(f.Decls[2].(*ast.GenDecl).Doc) {
+		t.Error("sentinel marker not recognized")
+	}
+	if directive.IsSentinel(f.Decls[0].(*ast.GenDecl).Doc) {
+		t.Error("immutable marker misread as sentinel")
+	}
+}
+
 func TestIsEpochGuarded(t *testing.T) {
 	src := `package p
 

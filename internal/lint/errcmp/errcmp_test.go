@@ -1,0 +1,68 @@
+package errcmp_test
+
+import (
+	"strings"
+	"testing"
+
+	"mapsched/internal/lint/errcmp"
+	"mapsched/internal/lint/linttest"
+)
+
+func TestErrcmp(t *testing.T) {
+	diags, _ := linttest.Analyze(t, errcmp.Analyzer, "errc")
+
+	// The == and != comparisons must carry mechanical rewrites with
+	// the exact errors.Is text the fix applier will splice in.
+	fixes := map[string]bool{}
+	for _, d := range diags {
+		for _, f := range d.SuggestedFixes {
+			for _, e := range f.TextEdits {
+				fixes[string(e.NewText)] = true
+			}
+		}
+	}
+	for _, want := range []string{
+		"errors.Is(err, ErrBoom)",
+		"!errors.Is(err, ErrA)",
+	} {
+		if !fixes[want] {
+			t.Errorf("no suggested fix with text %q (got %v)", want, keys(fixes))
+		}
+	}
+
+	// Identity switches are report-only: no structural autofix.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "identity switch") && len(d.SuggestedFixes) > 0 {
+			t.Errorf("identity-switch diagnostic unexpectedly carries a fix: %s", d.Message)
+		}
+	}
+}
+
+func TestErrcmpCrossPackage(t *testing.T) { linttest.Run(t, errcmp.Analyzer, "errclient") }
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestErrcmpImportInsertion: a fix applied to a file without an
+// `"errors"` import must also insert one, or the rewrite would not
+// compile after `schedlint -apply`.
+func TestErrcmpImportInsertion(t *testing.T) {
+	diags, _ := linttest.Analyze(t, errcmp.Analyzer, "errnoimp")
+	if len(diags) != 1 || len(diags[0].SuggestedFixes) != 1 {
+		t.Fatalf("want exactly one diagnostic with one fix, got %+v", diags)
+	}
+	var haveImport bool
+	for _, e := range diags[0].SuggestedFixes[0].TextEdits {
+		if strings.Contains(string(e.NewText), `"errors"`) && e.Pos == e.End {
+			haveImport = true
+		}
+	}
+	if !haveImport {
+		t.Errorf("fix carries no errors-import insertion: %+v", diags[0].SuggestedFixes[0].TextEdits)
+	}
+}

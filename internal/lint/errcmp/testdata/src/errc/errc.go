@@ -1,0 +1,48 @@
+// Package errc exercises the sentinel comparison contract: marked
+// errors must go through errors.Is, identity comparison is flagged
+// with a mechanical rewrite.
+package errc
+
+import "errors"
+
+//lint:sentinel
+var ErrBoom = errors.New("boom")
+
+//lint:sentinel the whole block is the conflict hierarchy
+var (
+	ErrA = errors.New("a")
+	ErrB = errors.New("b")
+)
+
+func check(err error) bool {
+	if err == ErrBoom { // want `sentinel error "ErrBoom" compared with ==`
+		return true
+	}
+	if ErrA != err { // want `sentinel error "ErrA" compared with !=`
+		return false
+	}
+	return errors.Is(err, ErrBoom)
+}
+
+func sw(err error) int {
+	switch err {
+	case ErrA: // want `sentinel error "ErrA" in identity switch`
+		return 1
+	case ErrB: // want `sentinel error "ErrB" in identity switch`
+		return 2
+	}
+	return 0
+}
+
+// Suppressed false positive: identity really is intended here, with
+// the justification recorded in the scoped allow.
+//
+//lint:allow errcmp comparing against the canonical instance on purpose
+func isCanonical(err error) bool {
+	return err == ErrBoom
+}
+
+// errInternal carries no marker: identity comparison is fine.
+var errInternal = errors.New("unmarked")
+
+func unmarked(err error) bool { return err == errInternal }

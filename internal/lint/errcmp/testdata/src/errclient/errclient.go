@@ -1,0 +1,17 @@
+// Package errclient compares errc's exported sentinels: the
+// diagnostics depend on the facts exported by the errc run.
+package errclient
+
+import (
+	"errors"
+
+	"errc"
+)
+
+func bad(err error) bool {
+	return err == errc.ErrBoom // want `sentinel error "ErrBoom" compared with ==`
+}
+
+func good(err error) bool {
+	return errors.Is(err, errc.ErrBoom)
+}

@@ -1,0 +1,13 @@
+// Package errnoimp proves the errors.Is rewrite ships an `"errors"`
+// import insertion when the fixed file has no errors import — without
+// it the applied fix would not compile.
+package errnoimp
+
+import "fmt"
+
+//lint:sentinel
+var ErrGone = fmt.Errorf("gone")
+
+func check(err error) bool {
+	return err == ErrGone // want `sentinel error "ErrGone" compared with ==`
+}

@@ -7,15 +7,22 @@
 //
 // Multiple expectations on one line are multiple quoted regexps. The
 // harness type-checks testdata with the source importer, so testdata
-// packages may import the standard library but nothing else — which
-// also keeps the analyzer contract tests hermetic (no module proxy,
-// no go command).
+// packages may import the standard library — and, for the
+// cross-package fact analyzers, sibling packages under the same
+// testdata/src root: an import path that exists as a sibling
+// directory is loaded from source, analyzed first (exporting its
+// facts into an in-memory store), and its own // want comments are
+// checked too. Facts are gob round-tripped at export, so a fact type
+// that would not survive the real unitchecker wire format fails here
+// first.
 //
 // (The real analysistest depends on go/packages and is not part of
 // the vendored x/tools subset this repository builds against.)
 package linttest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -24,6 +31,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
@@ -33,27 +41,115 @@ import (
 	"golang.org/x/tools/go/analysis"
 )
 
-// Run loads the package in testdata/src/<pkg>, applies the analyzer,
-// and reports any mismatch between diagnostics and // want comments as
-// test errors.
+// Run loads the package in testdata/src/<pkg> (and any sibling
+// packages it imports), applies the analyzer to each in dependency
+// order, and reports any mismatch between diagnostics and // want
+// comments as test errors.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", pkg)
-	diags, fset, files := runAnalyzer(t, a, dir)
-	checkExpectations(t, fset, files, diags)
+	Analyze(t, a, pkg)
 }
 
-// RunFiles is Run over an explicit directory (used by the directive
-// tests to lint arbitrary fixtures).
+// Analyze is Run returning the diagnostics and the FileSet, for tests
+// that assert beyond messages (SuggestedFix edits, positions).
+func Analyze(t *testing.T, a *analysis.Analyzer, pkg string) ([]analysis.Diagnostic, *token.FileSet) {
+	t.Helper()
+	h := newHarness(t, a, filepath.Join("testdata", "src"))
+	h.load(pkg)
+	checkExpectations(t, h.fset, h.allFiles(), h.diags)
+	return h.diags, h.fset
+}
+
+// RunFiles is Run over an explicit directory with no sibling-package
+// resolution (used by the directive tests to lint arbitrary fixtures).
 func RunFiles(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
 	t.Helper()
-	diags, _, _ := runAnalyzer(t, a, dir)
-	return diags
+	h := newHarness(t, a, "")
+	h.loadDir("files", dir)
+	return h.diags
 }
 
-func runAnalyzer(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
-	t.Helper()
+// harness owns the shared FileSet, the loaded-package memo, and the
+// in-memory fact store one Run call accumulates across packages.
+type harness struct {
+	t      *testing.T
+	a      *analysis.Analyzer
+	fset   *token.FileSet
+	root   string // testdata/src root for sibling imports; "" disables
+	std    types.Importer
+	loaded map[string]*loadedPkg
+	order  []string // load completion order, for allFiles determinism
+	diags  []analysis.Diagnostic
+
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+}
+
+type loadedPkg struct {
+	tpkg  *types.Package
+	files []*ast.File
+}
+
+type objFactKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+func newHarness(t *testing.T, a *analysis.Analyzer, root string) *harness {
+	if len(a.Requires) > 0 {
+		t.Fatalf("linttest: analyzer %s has Requires; this harness runs dependency-free analyzers only", a.Name)
+	}
 	fset := token.NewFileSet()
+	return &harness{
+		t:        t,
+		a:        a,
+		fset:     fset,
+		root:     root,
+		std:      importer.ForCompiler(fset, "source", nil),
+		loaded:   map[string]*loadedPkg{},
+		objFacts: map[objFactKey]analysis.Fact{},
+		pkgFacts: map[pkgFactKey]analysis.Fact{},
+	}
+}
+
+// Import resolves an import path during type checking: paths that
+// exist as directories under the testdata/src root load (and analyze)
+// the sibling fixture package; everything else falls through to the
+// standard-library source importer.
+func (h *harness) Import(path string) (*types.Package, error) {
+	if h.root != "" {
+		if dir := filepath.Join(h.root, path); dirExists(dir) {
+			return h.load(path).tpkg, nil
+		}
+	}
+	return h.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+// load parses, type-checks, and analyzes the fixture package at
+// <root>/<path>, memoized per path. Sibling imports are pulled in by
+// the type checker through h.Import, so a dependency's analyzer run
+// (and its exported facts) always completes before the importing
+// package's run starts.
+func (h *harness) load(path string) *loadedPkg {
+	if lp, ok := h.loaded[path]; ok {
+		return lp
+	}
+	return h.loadDir(path, filepath.Join(h.root, path))
+}
+
+func (h *harness) loadDir(path, dir string) *loadedPkg {
+	t := h.t
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
@@ -63,7 +159,7 @@ func runAnalyzer(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Dia
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		f, err := parser.ParseFile(h.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			t.Fatalf("linttest: parse: %v", err)
 		}
@@ -82,31 +178,108 @@ func runAnalyzer(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Dia
 		Scopes:     map[ast.Node]*types.Scope{},
 		Instances:  map[*ast.Ident]types.Instance{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkgName := files[0].Name.Name
-	tpkg, err := conf.Check(pkgName, fset, files, info)
+	conf := types.Config{Importer: h}
+	tpkg, err := conf.Check(path, h.fset, files, info)
 	if err != nil {
 		t.Fatalf("linttest: typecheck %s: %v", dir, err)
 	}
+	lp := &loadedPkg{tpkg: tpkg, files: files}
+	h.loaded[path] = lp
+	h.order = append(h.order, path)
 
-	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer:   a,
-		Fset:       fset,
-		Files:      files,
-		Pkg:        tpkg,
-		TypesInfo:  info,
-		TypesSizes: types.SizesFor("gc", "amd64"),
-		ResultOf:   map[*analysis.Analyzer]interface{}{},
-		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:          h.a,
+		Fset:              h.fset,
+		Files:             files,
+		Pkg:               tpkg,
+		TypesInfo:         info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          map[*analysis.Analyzer]interface{}{},
+		Report:            func(d analysis.Diagnostic) { h.diags = append(h.diags, d) },
+		ImportObjectFact:  h.importObjectFact,
+		ExportObjectFact:  h.exportObjectFact,
+		ImportPackageFact: h.importPackageFact,
+		ExportPackageFact: func(fact analysis.Fact) { h.exportPackageFact(tpkg, fact) },
+		AllObjectFacts:    h.allObjectFacts,
+		AllPackageFacts:   h.allPackageFacts,
 	}
-	if len(a.Requires) > 0 {
-		t.Fatalf("linttest: analyzer %s has Requires; this harness runs dependency-free analyzers only", a.Name)
+	if _, err := h.a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s failed on %s: %v", h.a.Name, path, err)
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("linttest: %s failed: %v", a.Name, err)
+	return lp
+}
+
+func (h *harness) allFiles() []*ast.File {
+	var files []*ast.File
+	for _, path := range h.order {
+		files = append(files, h.loaded[path].files...)
 	}
-	return diags, fset, files
+	return files
+}
+
+// roundTrip gob-encodes the fact and decodes it into a fresh value of
+// the same concrete type, mirroring the unitchecker wire format so a
+// fact that would not serialize fails in the fixture suite.
+func (h *harness) roundTrip(fact analysis.Fact) analysis.Fact {
+	h.t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		h.t.Fatalf("linttest: fact %T does not gob-encode: %v", fact, err)
+	}
+	fresh := reflect.New(reflect.TypeOf(fact).Elem()).Interface().(analysis.Fact)
+	if err := gob.NewDecoder(&buf).Decode(fresh); err != nil {
+		h.t.Fatalf("linttest: fact %T does not gob-decode: %v", fact, err)
+	}
+	return fresh
+}
+
+func (h *harness) exportObjectFact(obj types.Object, fact analysis.Fact) {
+	h.t.Helper()
+	if obj == nil {
+		h.t.Fatalf("linttest: ExportObjectFact(nil, %T)", fact)
+	}
+	h.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = h.roundTrip(fact)
+}
+
+func (h *harness) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	stored, ok := h.objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+func (h *harness) exportPackageFact(pkg *types.Package, fact analysis.Fact) {
+	h.t.Helper()
+	h.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}] = h.roundTrip(fact)
+}
+
+func (h *harness) importPackageFact(pkg *types.Package, fact analysis.Fact) bool {
+	stored, ok := h.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+func (h *harness) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for k, f := range h.objFacts {
+		out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.Pos() < out[j].Object.Pos() })
+	return out
+}
+
+func (h *harness) allPackageFacts() []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for k, f := range h.pkgFacts {
+		out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Package.Path() < out[j].Package.Path() })
+	return out
 }
 
 // wantRE extracts the quoted or backquoted expectation patterns from a

@@ -1,0 +1,15 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"mapsched/internal/lint/linttest"
+	"mapsched/internal/lint/lockheld"
+)
+
+func TestLockheld(t *testing.T) { linttest.Run(t, lockheld.Analyzer, "lockh") }
+
+// TestLockheldCrossPackage loads lockclient, which pulls in and
+// analyzes lockdep first; the diagnostics in the client all depend on
+// the dep's exported guarded/locked facts.
+func TestLockheldCrossPackage(t *testing.T) { linttest.Run(t, lockheld.Analyzer, "lockclient") }

@@ -1,0 +1,24 @@
+// Package lockclient imports lockdep and misuses its guarded state:
+// every diagnostic here depends on facts exported by the lockdep run.
+package lockclient
+
+import "lockdep"
+
+func bad(s *lockdep.Store) {
+	s.Count++      // want `write to guarded field "Count" without "Mu" write-locked`
+	s.Apply(1)     // want `call to "Apply" requires "Mu" held`
+	s.AddLocked(2) // want `call to "AddLocked" without a lock held`
+}
+
+func good(s *lockdep.Store) {
+	s.Mu.Lock()
+	s.Count++
+	s.Apply(1)
+	s.AddLocked(2)
+	s.Mu.Unlock()
+}
+
+func leak(s *lockdep.Store) int {
+	n := s.Count // want `read of guarded field "Count" without "Mu" held`
+	return n
+}

@@ -1,0 +1,17 @@
+// Package lockdep declares a guarded store; the lockclient fixture
+// checks that the contract follows the exported fields and functions
+// into an importing package via facts.
+package lockdep
+
+import "sync"
+
+type Store struct {
+	Mu    sync.Mutex
+	Count int //lint:guarded Mu
+}
+
+//lint:locked Mu
+func (s *Store) Apply(n int) { s.Count += n }
+
+// AddLocked runs under the caller's lock by naming convention.
+func (s *Store) AddLocked(n int) { s.Count += n }

@@ -1,0 +1,131 @@
+// Package lockh exercises the lockheld contracts inside one package:
+// guarded-field access, *Locked and //lint:locked call sites, lock
+// scope escapes, and the deferred close-out bug class.
+package lockh
+
+import "sync"
+
+type table struct{ n int }
+
+type svc struct {
+	mu    sync.RWMutex
+	epoch uint64 //lint:guarded mu
+	slots *table //lint:guarded mu
+}
+
+func (s *svc) good() {
+	s.mu.Lock()
+	s.epoch++
+	s.mu.Unlock()
+}
+
+func (s *svc) goodDefer() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+func (s *svc) bad() {
+	s.epoch++ // want `write to guarded field "epoch" without "mu" write-locked`
+}
+
+func (s *svc) badReadAfterUnlock() uint64 {
+	s.mu.RLock()
+	e := s.epoch
+	s.mu.RUnlock()
+	return e + s.epoch // want `read of guarded field "epoch" without "mu" held`
+}
+
+func (s *svc) badWriteUnderRead() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.epoch++ // want `write to guarded field "epoch" under read lock "mu"; the write lock is required`
+}
+
+func (s *svc) earlyReturn(fail bool) uint64 {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return 0
+	}
+	e := s.epoch
+	s.mu.Unlock()
+	return e
+}
+
+// bumpLocked is exempt inside by the naming convention; its call
+// sites are what the analyzer checks.
+func (s *svc) bumpLocked() { s.epoch++ }
+
+func (s *svc) callers() {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+	s.bumpLocked() // want `call to "bumpLocked" without a lock held`
+}
+
+//lint:locked mu
+func (s *svc) apply(n uint64) { s.epoch = n }
+
+func (s *svc) callAnnotated() {
+	s.apply(1) // want `call to "apply" requires "mu" held`
+	s.mu.Lock()
+	s.apply(2)
+	s.mu.Unlock()
+}
+
+func (s *svc) escapeGo() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { // want `goroutine launched while "s.mu" is held`
+		_ = s.epoch // want `read of guarded field "epoch" without "mu" held`
+	}()
+}
+
+func (s *svc) escapeReturn() *table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.slots // want `returning guarded field "slots" escapes the "mu" lock scope`
+}
+
+// A function literal invoked at its call site runs under the
+// caller's locks (sort comparators, immediate calls): no diagnostic.
+func (s *svc) inPlaceLiteral() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return func() uint64 { return s.epoch }()
+}
+
+// A stored closure outlives the lock region: walked lock-free.
+func (s *svc) storedLiteral() func() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return func() uint64 {
+		return s.epoch // want `read of guarded field "epoch" without "mu" held`
+	}
+}
+
+type outcome struct{ code int }
+
+func fill(o *outcome) { o.code = 1 }
+
+func badCloseOut() outcome {
+	var out outcome
+	defer fill(&out) // want `deferred call writes &out but the results are unnamed`
+	return out
+}
+
+func goodCloseOut() (out outcome) {
+	defer fill(&out)
+	return out
+}
+
+// Suppressed false positive: the constructor owns s exclusively until
+// it returns, so unguarded writes are fine under a scoped allow.
+//
+//lint:allow lockheld constructor: s is not shared until returned
+func newSvc() *svc {
+	s := &svc{}
+	s.epoch = 1
+	return s
+}

@@ -6,13 +6,45 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mapsched/internal/lint"
 )
 
+// TestSuiteComposition pins the analyzer roster and its order: nine
+// analyzers, the determinism/cache contracts first, then the
+// concurrency/persistence contracts. A new analyzer (or a dropped
+// one) must show up here deliberately.
+func TestSuiteComposition(t *testing.T) {
+	want := []string{
+		"nodeterminism",
+		"epochbump",
+		"poolreset",
+		"obsvocab",
+		"optflag",
+		"lockheld",
+		"snapshotfree",
+		"deltajournal",
+		"errcmp",
+	}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}
+
 // TestSelfLint builds the schedlint vet tool and runs it over the
-// whole repository: the analyzers must pass clean on the codebase
-// whose invariants they encode (the no-false-positive check on real
-// code, and the gate that keeps future PRs honest). This is the same
-// invocation `make lint` and CI use.
+// whole repository: the nine analyzers must pass clean on the
+// codebase whose invariants they encode (the no-false-positive check
+// on real code, and the gate that keeps future PRs honest). This is
+// the same invocation `make lint` and CI use.
 func TestSelfLint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the module and re-typechecks every package")

@@ -1,0 +1,16 @@
+package snapshotfree_test
+
+import (
+	"testing"
+
+	"mapsched/internal/lint/linttest"
+	"mapsched/internal/lint/snapshotfree"
+)
+
+func TestSnapshotfree(t *testing.T) { linttest.Run(t, snapshotfree.Analyzer, "snap") }
+
+// TestSnapshotfreeCrossPackage checks the immutable marker follows
+// snap.Avail into an importing package via the exported fact.
+func TestSnapshotfreeCrossPackage(t *testing.T) {
+	linttest.Run(t, snapshotfree.Analyzer, "snapclient")
+}

@@ -1,0 +1,23 @@
+// Package snapclient mutates snap.Avail from outside its package:
+// the diagnostics depend on the immutable fact exported by snap, and
+// even constructor-shaped helpers here are flagged — foreign packages
+// construct through composite literals or snap's own constructors.
+package snapclient
+
+import "snap"
+
+func mutate(a *snap.Avail) {
+	a.Version = 2 // want `write to field "Version" of immutable-after-publish type "Avail"`
+}
+
+func fresh(n int) *snap.Avail {
+	a := &snap.Avail{Nodes: make([]int, n)}
+	a.Version = n // want `write to field "Version" of immutable-after-publish type "Avail"`
+	return a
+}
+
+func replaceWhole(h *hold, a snap.Avail) {
+	h.current = a // replacing the published value wholesale is fine
+}
+
+type hold struct{ current snap.Avail }

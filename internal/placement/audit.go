@@ -83,10 +83,10 @@ func (s *Service) Audit() AuditReport {
 	// 2+3. Availability membership and per-class counts, rebuilt from
 	// per-node free-slot ground truth.
 	r.Checks += 2
-	s.auditAvail(&r, "map", s.slots.AvailMapNodes(), func(n topology.NodeID) bool {
+	s.auditAvailLocked(&r, "map", s.slots.AvailMapNodes(), func(n topology.NodeID) bool {
 		return s.slots.Node(n).FreeMapSlots() > 0
 	}, drift)
-	s.auditAvail(&r, "reduce", s.slots.AvailReduceNodes(), func(n topology.NodeID) bool {
+	s.auditAvailLocked(&r, "reduce", s.slots.AvailReduceNodes(), func(n topology.NodeID) bool {
 		return s.slots.Node(n).FreeReduceSlots() > 0
 	}, drift)
 
@@ -138,11 +138,11 @@ func (s *Service) Audit() AuditReport {
 	return r
 }
 
-// auditAvail checks one slot kind's published availability snapshot and
-// per-class counts against ground truth. Caller holds the write lock
-// and guarantees the snapshots are materialized (refreshLocked ran
-// after the last delta).
-func (s *Service) auditAvail(r *AuditReport, kind string, snapshot []topology.NodeID, free func(topology.NodeID) bool, drift func(string, ...any)) {
+// auditAvailLocked checks one slot kind's published availability
+// snapshot and per-class counts against ground truth. Caller holds the
+// write lock and guarantees the snapshots are materialized
+// (refreshLocked ran after the last delta).
+func (s *Service) auditAvailLocked(r *AuditReport, kind string, snapshot []topology.NodeID, free func(topology.NodeID) bool, drift func(string, ...any)) {
 	want := make([]topology.NodeID, 0, len(snapshot))
 	for i := 0; i < s.slots.Size(); i++ {
 		if n := topology.NodeID(i); free(n) {

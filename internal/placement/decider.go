@@ -376,9 +376,9 @@ func (d *Decider) observeLocked() consistency {
 	return consistency{mapV: mv, reduceV: rv, epoch: d.svc.epoch}
 }
 
-// finish closes out a decision's Outcome: re-read the markers and flag
-// a torn read if anything moved under the read lock.
-func (d *Decider) finish(start consistency, out *Outcome) {
+// finishLocked closes out a decision's Outcome under the read lock:
+// re-read the markers and flag a torn read if anything moved.
+func (d *Decider) finishLocked(start consistency, out *Outcome) {
 	end := d.observeLocked()
 	out.Epoch = end.epoch
 	out.Torn = end != start
@@ -486,7 +486,7 @@ func (d *Decider) PlaceMap(req *Request, node topology.NodeID) (m *job.MapTask, 
 	start := d.observeLocked()
 	// out is a named return: the deferred close-out must write the
 	// Outcome the caller receives, not a by-value copy.
-	defer d.finish(start, &out)
+	defer d.finishLocked(start, &out)
 	s := d.scanMaps(req, node)
 	if s.instant {
 		c := s.best
@@ -596,7 +596,7 @@ func (d *Decider) PlaceReduce(req *Request, node topology.NodeID) (r *job.Reduce
 	d.svc.mu.RLock()
 	defer d.svc.mu.RUnlock()
 	start := d.observeLocked()
-	defer d.finish(start, &out)
+	defer d.finishLocked(start, &out)
 	d.sweep(req)
 	best, found := d.selectReduce(req, node, d.cfg.SpreadReduces)
 	if !found && d.cfg.SpreadReduces {

@@ -11,10 +11,18 @@ import (
 // errors.Is(err, ErrDeltaConflict) while still distinguishing the
 // specific conflict. A rejected delta mutates nothing: the epoch, the
 // availability snapshots and the per-class counts are exactly as they
-// were before the call.
+// were before the call. Compare with errors.Is, never ==: every
+// member wraps this base, so identity comparison silently misses the
+// wrapped forms.
+//
+//lint:sentinel
 var ErrDeltaConflict = errors.New("placement: delta conflicts with current state")
 
-// Specific delta-contract violations. Each wraps ErrDeltaConflict.
+// Specific delta-contract violations. Each wraps ErrDeltaConflict
+// and is returned wrapped again with call-site context, so callers
+// must match with errors.Is.
+//
+//lint:sentinel
 var (
 	// ErrUnknownNode rejects a delta naming a node outside the cluster.
 	ErrUnknownNode = fmt.Errorf("%w: unknown node", ErrDeltaConflict)
@@ -36,7 +44,10 @@ var (
 	ErrBadLinkFactor = fmt.Errorf("%w: bad link factor", ErrDeltaConflict)
 )
 
-// Journal and recovery errors.
+// Journal and recovery errors. Returned wrapped with detail; match
+// with errors.Is.
+//
+//lint:sentinel
 var (
 	// ErrCorruptRecord reports a damaged record with valid records after
 	// it (CRC mismatch, malformed JSON, unknown op/version, or a broken
@@ -60,9 +71,13 @@ var (
 
 // ErrNotReplayable reports an event stream outside the replay envelope
 // (fault, speculation or ModeNetworkCondition streams; see Replay).
+//
+//lint:sentinel
 var ErrNotReplayable = errors.New("placement: stream not replayable")
 
 // ErrDeciderInvalid reports a Decider whose cost model could not be
 // built from the service's deps; its decision methods surface it
 // through Outcome.Err instead of deciding.
+//
+//lint:sentinel
 var ErrDeciderInvalid = errors.New("placement: decider invalid")

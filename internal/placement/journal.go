@@ -33,7 +33,11 @@ import (
 	"mapsched/internal/topology"
 )
 
-// Op names a journal record's delta kind.
+// Op names a journal record's delta kind. The deltajournal analyzer
+// enforces that every constant of this enum is encoded somewhere and
+// covered by every //lint:journal-exhaustive decode/replay switch.
+//
+//lint:journal-ops
 type Op string
 
 // Journal record ops: one per entry in the Service delta vocabulary,
@@ -193,6 +197,8 @@ type DecodedJournal struct {
 // prefix. It never panics on malformed input — damage is reported
 // through DecodedJournal.Err — and returns a non-nil error only when
 // the underlying reader fails.
+//
+//lint:journal-exhaustive Op
 func DecodeJournal(r io.Reader) (*DecodedJournal, error) {
 	dec := &DecodedJournal{}
 	cr := &countingReader{r: r}
@@ -406,7 +412,10 @@ func (s *Service) StopJournal() {
 // journalLocked appends one delta record under the write lock, stamping
 // the seq the epoch will hold after the delta applies. It is called
 // after validation and before mutation: a failed append rejects the
-// delta with the state untouched.
+// delta with the state untouched. Every Apply*/Update* delta method
+// must reach this helper (the deltajournal analyzer proves it).
+//
+//lint:journal-append
 func (s *Service) journalLocked(rec Record) error {
 	if s.journal == nil {
 		return nil

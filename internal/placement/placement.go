@@ -72,28 +72,48 @@ type linkScaler interface {
 // concurrency contract then degenerates to plain single-threaded
 // access, and the delta epoch only advances for deltas applied through
 // the Service.
+//
+// Every Apply*/Update* delta method journals before it mutates; the
+// deltajournal analyzer enforces the pairing.
+//
+//lint:journaled
 type Service struct {
 	mu sync.RWMutex
 
+	// net, rate, mode and classes are set once in NewService and never
+	// written again, so they are safe to read without the lock.
 	net     topology.Network
-	store   *hdfs.Store
 	rate    topology.RateObserver
-	slots   *cluster.State
 	mode    core.Mode
 	classes *topology.Classes
+
+	// store and slots are the mutable scheduler-visible state the
+	// writer/reader contract exists for: deltas rewrite them under the
+	// write lock, decisions read them under the read lock.
+	//
+	//lint:guarded mu
+	store *hdfs.Store
+	//lint:guarded mu
+	slots *cluster.State
 
 	// epoch counts deltas applied through the Service. Deciders record
 	// the value they observed so clients can order decisions against
 	// state updates.
+	//
+	//lint:guarded mu
 	epoch uint64
 
 	// journal, when attached via StartJournal, records every delta
 	// before it applies (see journal.go).
+	//
+	//lint:guarded mu
 	journal *journalWriter
 
 	// linkFactors tracks the current host-link scale factor per node
 	// (nil until the first ApplyLinkFactor) so checkpoints can capture
 	// non-nominal links.
+	//
+	//lint:guarded mu
 	linkFactors []float64
 }
 
@@ -101,6 +121,8 @@ type Service struct {
 // state adopts the network's distance-class structure (hop mode), so
 // its availability snapshots carry the per-class counts the collapsed
 // cost sums consume.
+//
+//lint:allow lockheld constructor: s is unpublished, no reader can exist before return
 func NewService(d Deps) (*Service, error) {
 	if d.Slots == nil {
 		return nil, fmt.Errorf("placement: nil slot state")
@@ -137,8 +159,9 @@ func (s *Service) refreshLocked() {
 	s.slots.AvailReduceNodes()
 }
 
-// applied finishes a delta: rematerialize snapshots, bump the epoch.
-func (s *Service) applied() {
+// appliedLocked finishes a delta under the write lock: rematerialize
+// snapshots, bump the epoch.
+func (s *Service) appliedLocked() {
 	s.refreshLocked()
 	s.epoch++
 }
@@ -155,13 +178,28 @@ func (s *Service) Mode() core.Mode { return s.mode }
 
 // Slots exposes the underlying slot state for embedded (single-
 // threaded) clients; standalone concurrent clients must use the Apply*
-// deltas instead.
+// deltas instead. Audited escape hatch: the returned pointer leaves
+// the lock scope by design — the embedded engine owns the whole
+// process single-threaded, and the concurrent stress tests never touch
+// it. Concurrent mutation through it would corrupt the epoch/snapshot
+// bookkeeping the auditor checks.
+//
+//lint:allow lockheld audited escape hatch for single-threaded embedded clients (see doc)
 func (s *Service) Slots() *cluster.State { return s.slots }
 
-// Store exposes the underlying block store (embedded clients only).
+// Store exposes the underlying block store for embedded (single-
+// threaded) clients only; the same audited-escape-hatch caveats as
+// Slots apply.
+//
+//lint:allow lockheld audited escape hatch for single-threaded embedded clients (see doc)
 func (s *Service) Store() *hdfs.Store { return s.store }
 
-// View is a consistent read of the service's availability state.
+// View is a consistent read of the service's availability state. Views
+// are handed to concurrent readers by value, and the Avail node/count
+// slices alias the published snapshots — once built, a View is never
+// written again.
+//
+//lint:immutable-after-publish
 type View struct {
 	AvailMap    core.Avail
 	AvailReduce core.Avail
@@ -272,7 +310,7 @@ func (s *Service) ApplySlotAcquireNoted(k SlotKind, n topology.NodeID, note stri
 	if fn != nil {
 		fn()
 	}
-	s.applied()
+	s.appliedLocked()
 	return nil
 }
 
@@ -316,7 +354,7 @@ func (s *Service) ApplySlotReleaseNoted(k SlotKind, n topology.NodeID, note stri
 	if fn != nil {
 		fn()
 	}
-	s.applied()
+	s.appliedLocked()
 	return nil
 }
 
@@ -340,7 +378,7 @@ func (s *Service) ApplyReplicaAdd(id hdfs.BlockID, n topology.NodeID) (bool, err
 		return false, err
 	}
 	s.store.AddReplica(id, n)
-	s.applied()
+	s.appliedLocked()
 	return true, nil
 }
 
@@ -364,7 +402,7 @@ func (s *Service) ApplyReplicaLoss(id hdfs.BlockID, n topology.NodeID) (bool, er
 		return false, err
 	}
 	s.store.RemoveReplica(id, n)
-	s.applied()
+	s.appliedLocked()
 	return true, nil
 }
 
@@ -381,7 +419,7 @@ func (s *Service) ApplyNodeReplicaLoss(n topology.NodeID) (int, error) {
 		return 0, err
 	}
 	removed := s.store.RemoveNodeReplicas(n)
-	s.applied()
+	s.appliedLocked()
 	return removed, nil
 }
 
@@ -400,7 +438,7 @@ func (s *Service) ApplyNodeOffline(n topology.NodeID, off bool) error {
 		return err
 	}
 	node.SetOffline(off)
-	s.applied()
+	s.appliedLocked()
 	return nil
 }
 
@@ -417,7 +455,7 @@ func (s *Service) ApplyNodeBlacklist(n topology.NodeID, b bool) error {
 		return err
 	}
 	node.SetBlacklisted(b)
-	s.applied()
+	s.appliedLocked()
 	return nil
 }
 
@@ -451,7 +489,7 @@ func (s *Service) UpdateNoted(note string, fn func()) error {
 		return err
 	}
 	fn()
-	s.applied()
+	s.appliedLocked()
 	return nil
 }
 
@@ -484,6 +522,6 @@ func (s *Service) ApplyLinkFactor(n topology.NodeID, factor float64) error {
 		}
 	}
 	s.linkFactors[n] = factor
-	s.applied()
+	s.appliedLocked()
 	return nil
 }

@@ -93,7 +93,7 @@ func Recover(d Deps, checkpoint, journal io.Reader) (*Recovery, error) {
 		}
 		rec.CheckpointEpoch = cp.Epoch
 	}
-	rec.Epoch = svc.epoch
+	rec.Epoch = svc.Epoch()
 
 	if journal != nil {
 		dec, err := DecodeJournal(journal)
@@ -111,16 +111,16 @@ func Recover(d Deps, checkpoint, journal io.Reader) (*Recovery, error) {
 				rec.Skipped++
 				continue
 			}
-			if r.Seq != svc.epoch+1 {
+			if r.Seq != svc.Epoch()+1 {
 				return nil, fmt.Errorf("%w: journal resumes at seq %d, state at epoch %d",
-					ErrBadCheckpoint, r.Seq, svc.epoch)
+					ErrBadCheckpoint, r.Seq, svc.Epoch())
 			}
 			if err := svc.applyRecord(r); err != nil {
 				return nil, fmt.Errorf("%w: seq %d (%s): %v", ErrCorruptRecord, r.Seq, r.Op, err)
 			}
 			rec.Applied++
 		}
-		rec.Epoch = svc.epoch
+		rec.Epoch = svc.Epoch()
 	}
 	return rec, nil
 }
@@ -206,7 +206,10 @@ func (s *Service) restoreCheckpoint(cp *Checkpoint) error {
 // applyRecord re-applies one journal record through the public delta
 // methods (no journal is attached during recovery, so nothing is
 // re-recorded). Each record bumps the epoch by exactly one, keeping the
-// epoch aligned with the record seqs.
+// epoch aligned with the record seqs. OpBegin never reaches here: the
+// decoder consumes begin markers while chaining seqs.
+//
+//lint:journal-exhaustive Op except OpBegin
 func (s *Service) applyRecord(r *Record) error {
 	n := topology.NodeID(r.Node)
 	switch r.Op {
