@@ -58,7 +58,9 @@ race:
 # scaling regression in the class-collapsed hot path surfaces too, and
 # the placement-service bench exercises the concurrent decide path at
 # 1/4/8 readers before placement_guard.sh holds its p99 budget and
-# journal_guard.sh the journal-on delta budget.
+# journal_guard.sh the journal-on delta budget. The open-system cell
+# runs once inside opensys_guard.sh, which holds the deterministic
+# steady-state p99 JCT to its BENCH_opensys.json budget.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCore_|BenchmarkTopology_FlowChurn' \
 		-benchmem -benchtime 200x .
@@ -71,6 +73,7 @@ bench-smoke:
 	sh scripts/alloc_guard.sh
 	sh scripts/placement_guard.sh
 	sh scripts/journal_guard.sh
+	sh scripts/opensys_guard.sh
 
 # Short native-fuzz smoke over every parser/decoder fuzz target in the
 # tree: seeds plus a few seconds of mutation each, so a crash in the
@@ -80,6 +83,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeJournal' -fuzztime 5s ./internal/placement
 	$(GO) test -run '^$$' -fuzz 'FuzzParsePlan' -fuzztime 5s ./internal/faults
 	$(GO) test -run '^$$' -fuzz 'FuzzCDF' -fuzztime 5s ./internal/metrics
+	$(GO) test -run '^$$' -fuzz 'FuzzHistogramQuantile' -fuzztime 5s ./internal/metrics
 	$(GO) test -run '^$$' -fuzz 'FuzzAssignProb' -fuzztime 5s ./internal/core
 
 # Full benchmark pass; records results in BENCH_baseline.json and

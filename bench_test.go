@@ -314,6 +314,36 @@ func BenchmarkSimulation_FaultChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulation_OpenSystem runs one open-system sweep cell: the
+// three-tenant continuous-arrival workload at load factor 0.9 under the
+// probabilistic scheduler, with weighted admission and preemption on.
+// Beyond wall-clock cost it reports the steady-state p99 job completion
+// time — a deterministic function of the seed, so opensys_guard.sh can
+// hold it to a budget and catch scheduling-policy regressions that a
+// pure latency bench would miss.
+func BenchmarkSimulation_OpenSystem(b *testing.B) {
+	s := benchSetup()
+	nodes := s.Engine.Topology.Racks * s.Engine.Topology.NodesPerRack
+	plan := experiments.OpenPlan(nodes)
+	tenants := experiments.CalibrateRates(experiments.OpenTenants(), 0.9, s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunOpen(plan, tenants, s.BuilderFor(experiments.Probabilistic))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			jct := metrics.NewCDF(res.SteadyJCTs())
+			if jct.N() == 0 {
+				b.Fatal("open-system bench produced no steady-state completions")
+			}
+			b.ReportMetric(jct.Quantile(0.99), "p99_jct_s")
+			b.ReportMetric(float64(res.Preemptions), "preemptions")
+			b.ReportMetric(float64(res.RejectedJobs), "rejected")
+		}
+	}
+}
+
 func BenchmarkSimulation_Coupling(b *testing.B) { benchBatchRun(b, experiments.Coupling) }
 
 func BenchmarkSimulation_Fair(b *testing.B) { benchBatchRun(b, experiments.Fair) }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|tableII|fig3|fig4|fig5|fig6|tableIII|fig7|util|pmin|ablations|faultsweep|scale]
+//	experiments [-run all|tableII|fig3|fig4|fig5|fig6|tableIII|fig7|util|pmin|ablations|faultsweep|opensys|scale]
 //	            [-scale N] [-seed N] [-pmin P] [-workers N] [-sizes N,N,...]
 //
 // -scale divides workload sizes and task counts; 1 reproduces Table II's
@@ -123,6 +123,15 @@ func runExperiments(s experiments.Setup, which string, sizes []experiments.Scale
 			return err
 		}
 		fmt.Println(experiments.FaultSweepReport(pts))
+		return nil
+	case "opensys":
+		start := time.Now()
+		pts, err := experiments.OpenSweep(s, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "open-system sweep done in %s\n", time.Since(start).Truncate(time.Millisecond))
+		fmt.Println(experiments.OpenSweepReport(pts))
 		return nil
 	case "scale":
 		start := time.Now()

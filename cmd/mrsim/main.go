@@ -7,11 +7,18 @@
 //	      [-scale N] [-seed N] [-nodes N] [-racks N] [-pmin P]
 //	      [-mode hops|netcond] [-crosstraffic N] [-v]
 //	      [-faults SPEC] [-hb-expiry SECONDS]
+//	      [-arrivals SPEC] [-tenants SPEC]
 //	      [-trace FILE] [-events FILE] [-obs-summary]
 //
 // The -faults spec is semicolon-separated, e.g.
 //
 //	-faults 'crash:3@60;slow:7@30+120*2.5;link:4@10+40*0.1;taskfail:0.02'
+//
+// -arrivals switches from the fixed -workload batch to an open-system
+// run with continuous Poisson arrivals over multi-tenant queues, e.g.
+//
+//	-arrivals 'horizon=600,warmup=60,maxactive=12,preempt=1' \
+//	-tenants 'gold:weight=3,rate=0.05;besteffort:rate=0.02,cap=8'
 //
 // Exit codes: 0 on success, 1 on configuration or simulation errors,
 // and 3 when the batch completed but one or more jobs failed
@@ -56,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mode      = fs.String("mode", "netcond", "cost mode: hops or netcond")
 		cross     = fs.Int("crosstraffic", 0, "background cross-traffic flows")
 		faultSpec = fs.String("faults", "", "fault plan: crash:N@T; slow:N@T[+D]*F; link:N@T[+D]*F; replica:N@T; taskfail:P; attempts:N; blacklist:N")
+		arrSpec   = fs.String("arrivals", "", "open-system arrival plan: horizon=T,warmup=T,maxactive=N,preempt=0|1 (replaces -workload)")
+		tenSpec   = fs.String("tenants", "", "open-system tenants: name:weight=W,rate=R,cap=N,min=GB,max=GB;... (requires -arrivals)")
 		hbExpiry  = fs.Float64("hb-expiry", 0, "heartbeat-expiry window in seconds (0 = 10x heartbeat interval)")
 		verbose   = fs.Bool("v", false, "print per-job rows")
 		traceOut  = fs.String("trace", "", "write a JSON task timeline to this file")
@@ -105,6 +114,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *hbExpiry > 0 {
 		opts = append(opts, mapsched.WithHeartbeatExpiry(*hbExpiry))
+	}
+	if *arrSpec != "" {
+		plan, err := mapsched.ParseArrivalPlan(*arrSpec)
+		if err != nil {
+			return fail(err)
+		}
+		opts = append(opts, mapsched.WithArrivals(plan))
+		batch = nil // arrivals replace the fixed batch
+	}
+	if *tenSpec != "" {
+		tenants, err := mapsched.ParseTenants(*tenSpec)
+		if err != nil {
+			return fail(err)
+		}
+		opts = append(opts, mapsched.WithTenants(tenants...))
 	}
 
 	sim, err := mapsched.New(cfg, batch, kind, opts...)
@@ -194,6 +218,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res.RelaunchedReduces > 0 || res.BlacklistedNodes > 0 {
 		fmt.Fprintf(stdout, "fault recovery:     %d failed jobs, %d attempt failures, %d maps + %d reduces relaunched, %d nodes blacklisted\n",
 			res.FailedJobs, res.AttemptFailures, res.RelaunchedMaps, res.RelaunchedReduces, res.BlacklistedNodes)
+	}
+	if res.OpenSystem {
+		fmt.Fprintf(stdout, "open system:        %d preemptions, %d rejected, Jain fairness %.3f\n",
+			res.Preemptions, res.RejectedJobs, res.JainFairness)
+		fmt.Fprintf(stdout, "steady-state util:  map %.2f, reduce %.2f\n",
+			res.SteadyMapUtilization, res.SteadyReduceUtilization)
+		t := metrics.NewTable("Tenant", "Weight", "Arrived", "Admit/Rej/Pre", "Done", "JCT p50/p95/p99", "QDelay p95", "Jobs/s")
+		for _, tr := range res.Tenants {
+			jct, qd, thr := "-", "-", "-"
+			if tr.SteadyCompleted > 0 {
+				jct = fmt.Sprintf("%.0f/%.0f/%.0fs", tr.JCTP50, tr.JCTP95, tr.JCTP99)
+				qd = fmt.Sprintf("%.1fs", tr.QueueDelayP95)
+				thr = fmt.Sprintf("%.4f", tr.Throughput)
+			}
+			t.AddRow(tr.Name, tr.Weight, tr.Arrived,
+				fmt.Sprintf("%d/%d/%d", tr.Admitted, tr.Rejected, tr.Preempted),
+				tr.Completed, jct, qd, thr)
+		}
+		fmt.Fprintln(stdout, t.String())
 	}
 	if res.FailedJobs > 0 {
 		fmt.Fprintf(stderr, "mrsim: %d jobs failed permanently (exit %d)\n", res.FailedJobs, exitFailedJobs)

@@ -103,6 +103,13 @@ type Config struct {
 	SlowNodeFraction float64
 	SlowFactor       float64 // default 2.5 when heterogeneity is on
 
+	// Open configures the open-system mode: a continuous arrival stream
+	// feeding per-tenant queues with weighted admission control and
+	// optional kill-and-requeue preemption (DESIGN.md §18). The zero
+	// value keeps the classic closed-system (fixed-batch) behavior and
+	// the run is bit-identical to one before the layer existed.
+	Open OpenSystem
+
 	// ResourceMode replaces the Hadoop 1.x fixed slots with a YARN-style
 	// container model (the paper's Section V future work): every node has
 	// a resource capacity and each map/reduce task requests a container,
@@ -189,6 +196,9 @@ func (c Config) Validate() error {
 		failed[f.Node] = true
 	}
 	if err := c.Faults.Validate(n); err != nil {
+		return err
+	}
+	if err := c.Open.Validate(); err != nil {
 		return err
 	}
 	return nil
@@ -372,6 +382,31 @@ type Simulation struct {
 	redFails  map[*job.ReduceTask]int
 	nodeFails map[failKey]int // per-(job, node) attempt failures (blacklist)
 	blacklist map[topology.NodeID]bool
+	// blacklistHolds counts, per blacklisted node, the active jobs whose
+	// failure tally crossed the threshold; the last holder's teardown
+	// releases the node back into the candidate sets (DESIGN.md §18).
+	blacklistHolds  map[topology.NodeID]int
+	everBlacklisted int // cumulative blacklist entries over the run
+
+	// Open-system state (opensys.go). Zero/nil in closed-system runs.
+	openOn         bool
+	tenants        []*tenantState
+	tenantOf       map[string]*tenantState
+	openJobs       map[*job.Job]*openJob
+	specsSubmitted int // fixed-path submissions fired so far
+	openSubmitted  int // arrival-stream jobs instantiated so far
+	arrivalsFired  int
+	openActiveN    int // admitted open-system jobs currently in the system
+	admitSeq       int
+	preemptions    int
+	rejectedJobs   int
+
+	// Steady-state slot-utilization averages, tracked from the warm-up
+	// instant on (open-system mode only).
+	ssStarted            bool
+	lastUtilM, lastUtilR float64
+	utilMapSS            metrics.TimeAvg
+	utilRedSS            metrics.TimeAvg
 
 	utilMap    metrics.TimeAvg
 	utilReduce metrics.TimeAvg
@@ -404,7 +439,7 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(specs) == 0 {
+	if len(specs) == 0 && !cfg.Open.Enabled() {
 		return nil, fmt.Errorf("engine: no job specs")
 	}
 	if builder == nil {
@@ -475,6 +510,8 @@ func New(cfg Config, specs []job.Spec, builder sched.Builder) (*Simulation, erro
 		blacklist:   make(map[topology.NodeID]bool),
 		obs:         obs.NewStream(),
 	}
+	s.blacklistHolds = make(map[topology.NodeID]int)
+	s.initOpen()
 	s.hbExpiry = cfg.HeartbeatExpiry
 	if s.hbExpiry == 0 {
 		s.hbExpiry = 10 * cfg.HeartbeatInterval
@@ -570,11 +607,21 @@ func (s *Simulation) Run() (*Result, error) {
 		s.topo.InjectCrossTraffic(src, dst)
 	}
 
-	// Job submissions.
+	// Job submissions. Open-system arrivals are scheduled from the same
+	// loop position, so a pure-arrival run assigns its events the exact
+	// sequence numbers a fixed-batch run would — the t=0 equivalence
+	// guarantee depends on this.
 	for i := range s.specs {
 		spec := s.specs[i]
 		id := job.ID(i + 1)
-		s.eng.Schedule(spec.Submit, func() { s.submit(id, spec) })
+		s.eng.Schedule(spec.Submit, func() {
+			s.specsSubmitted++
+			s.submit(id, spec)
+		})
+	}
+	for i := range s.cfg.Open.Arrivals {
+		a := s.cfg.Open.Arrivals[i]
+		s.eng.Schedule(a.At, func() { s.arrive(a) })
 	}
 
 	// Scheduled faults: legacy Failures and the fault plan both route
@@ -619,10 +666,24 @@ func (s *Simulation) submit(id job.ID, spec job.Spec) {
 	}
 }
 
-// allDone reports whether every submitted job finished and no submissions
-// remain.
+// allDone reports whether every submitted job finished and no
+// submissions, arrivals or queued work remain.
 func (s *Simulation) allDone() bool {
-	return len(s.active) == 0 && len(s.jobs) == len(s.specs)
+	if len(s.active) > 0 || s.specsSubmitted < len(s.specs) {
+		return false
+	}
+	if !s.openOn {
+		return true
+	}
+	if s.arrivalsFired < len(s.cfg.Open.Arrivals) {
+		return false
+	}
+	for _, t := range s.tenants {
+		if len(t.queue) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // heartbeat is one TaskTracker report: refresh progress, offer free slots
@@ -1227,6 +1288,7 @@ func (s *Simulation) finishReduce(r *job.ReduceTask, run *reduceRun, winner *red
 			e.Dur = float64(j.Finished - j.Submitted)
 			s.obs.Emit(e)
 		}
+		s.onJobEnd(j)
 	}
 	// Every attempt is dead (winner included) and detached; recycle the
 	// run and its attempts.
@@ -1262,10 +1324,26 @@ func (s *Simulation) outputStillNeeded(j *job.Job, m *job.MapTask) bool {
 }
 
 // sampleUtil records slot occupancy for the utilization time-averages.
+// In open-system mode a second pair of averages starts at the warm-up
+// instant, so steady-state utilization excludes the fill-up transient.
 func (s *Simulation) sampleUtil() {
 	um, ur := s.state.UsedSlots()
 	tm, tr := s.state.TotalSlots()
 	now := float64(s.eng.Now())
-	s.utilMap.Update(now, float64(um)/float64(tm))
-	s.utilReduce.Update(now, float64(ur)/float64(tr))
+	vm := float64(um) / float64(tm)
+	vr := float64(ur) / float64(tr)
+	s.utilMap.Update(now, vm)
+	s.utilReduce.Update(now, vr)
+	if s.openOn {
+		if !s.ssStarted && now >= s.cfg.Open.Warmup {
+			s.ssStarted = true
+			s.utilMapSS.Update(s.cfg.Open.Warmup, s.lastUtilM)
+			s.utilRedSS.Update(s.cfg.Open.Warmup, s.lastUtilR)
+		}
+		if s.ssStarted {
+			s.utilMapSS.Update(now, vm)
+			s.utilRedSS.Update(now, vr)
+		}
+		s.lastUtilM, s.lastUtilR = vm, vr
+	}
 }

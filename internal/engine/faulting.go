@@ -430,20 +430,83 @@ func (s *Simulation) failReduceAttempt(r *job.ReduceTask, run *reduceRun, att *r
 // noteNodeFailure tallies an attempt failure against (job, node) and
 // blacklists the node at the threshold. A safety valve refuses to
 // blacklist half the cluster or more, so a pathological fault plan cannot
-// wedge the whole simulation.
+// wedge the whole simulation. Blacklist entries are reference-counted by
+// the jobs whose tallies crossed the threshold: the last holder's
+// teardown releases the node (releaseJobFaultState), so a long-horizon
+// arrival stream cannot accumulate stale entries until the half-cluster
+// cap starts refusing blacklists of genuinely faulty nodes.
 func (s *Simulation) noteNodeFailure(j *job.Job, n topology.NodeID) {
 	key := failKey{job: j.ID, node: n}
 	s.nodeFails[key]++
-	if s.blacklist[n] || s.nodeFails[key] < s.cfg.Faults.BlacklistThreshold() {
+	threshold := s.cfg.Faults.BlacklistThreshold()
+	if s.nodeFails[key] < threshold {
+		return
+	}
+	if s.blacklist[n] {
+		if s.nodeFails[key] == threshold {
+			s.blacklistHolds[n]++ // this job now holds the entry too
+		}
 		return
 	}
 	if 2*(len(s.blacklist)+1) >= s.topo.Size() {
 		return
 	}
 	s.blacklist[n] = true
+	s.everBlacklisted++
+	// Every active job already past the threshold holds the entry — not
+	// just j: their tallies may have crossed while the cap refused the
+	// blacklist, and they must keep the node out until they finish.
+	holds := 0
+	for _, a := range s.active {
+		if s.nodeFails[failKey{job: a.ID, node: n}] >= threshold {
+			holds++
+		}
+	}
+	if holds == 0 {
+		holds = 1 // j left the active set mid-teardown; count it anyway
+	}
+	s.blacklistHolds[n] = holds
 	s.state.Node(n).SetBlacklisted(true)
 	if s.obs.Enabled() {
 		s.obs.Emit(obs.Event{T: float64(s.eng.Now()), Type: obs.NodeBlacklist, Node: int(n), Job: j.Spec.Name})
+	}
+}
+
+// releaseJobFaultState frees the per-job fault bookkeeping once a job
+// leaves the system for good: retry tallies, speculation stats, and the
+// job's holds on blacklisted nodes — the last holder releases the node
+// back into the candidate sets. Nodes are scanned by ID so the release
+// order is deterministic.
+func (s *Simulation) releaseJobFaultState(j *job.Job) {
+	for _, m := range j.Maps {
+		delete(s.mapFails, m)
+	}
+	for _, r := range j.Reduces {
+		delete(s.redFails, r)
+	}
+	delete(s.stats, j.ID)
+	threshold := s.cfg.Faults.BlacklistThreshold()
+	for i := 0; i < s.topo.Size(); i++ {
+		n := topology.NodeID(i)
+		key := failKey{job: j.ID, node: n}
+		count, ok := s.nodeFails[key]
+		if !ok {
+			continue
+		}
+		delete(s.nodeFails, key)
+		if count < threshold || !s.blacklist[n] {
+			continue
+		}
+		s.blacklistHolds[n]--
+		if s.blacklistHolds[n] > 0 {
+			continue
+		}
+		delete(s.blacklistHolds, n)
+		delete(s.blacklist, n)
+		s.state.Node(n).SetBlacklisted(false)
+		if s.obs.Enabled() {
+			s.obs.Emit(obs.Event{T: float64(s.eng.Now()), Type: obs.NodeUnblacklist, Node: int(n), Job: j.Spec.Name})
+		}
 	}
 }
 
@@ -504,6 +567,7 @@ func (s *Simulation) failJob(j *job.Job, reason string) {
 		e.Dur = float64(j.Finished - j.Submitted)
 		s.obs.Emit(e)
 	}
+	s.onJobEnd(j)
 }
 
 // applySlowdown sets node n's compute rate to base/factor (factor 1

@@ -60,8 +60,19 @@ type Result struct {
 	RelaunchedMaps    int // completed maps re-executed after node failures
 	RelaunchedReduces int // running reduces restarted after node failures
 	AttemptFailures   int // transient attempt failures injected
-	BlacklistedNodes  int // nodes blacklisted out of the candidate sets
+	BlacklistedNodes  int // cumulative blacklist entries over the run
 	FailedJobs        int // jobs terminated unsuccessfully (not in Unfinished)
+
+	// Open-system accounting (engine.Config.Open; zero otherwise).
+	OpenSystem   bool
+	Tenants      []TenantResult // declaration order
+	JainFairness float64        // Jain index over weight-normalized steady completions
+	Preemptions  int            // kill-and-requeue evictions
+	RejectedJobs int            // arrivals turned away by full queues
+
+	// Slot utilization averaged over the post-warm-up window only.
+	SteadyMapUtilization    float64
+	SteadyReduceUtilization float64
 }
 
 // CompletionTimes returns the completion time of every finished job
@@ -182,7 +193,10 @@ func (s *Simulation) collect() *Result {
 	res.RelaunchedMaps = s.relaunchedMaps
 	res.RelaunchedReduces = s.relaunchedReduces
 	res.AttemptFailures = s.attemptFailures
-	res.BlacklistedNodes = len(s.blacklist)
+	// Cumulative, not a point-in-time census: entries are released when
+	// their last holding job tears down, so len(s.blacklist) at the end
+	// of a healthy run is typically zero.
+	res.BlacklistedNodes = s.everBlacklisted
 	// Utilization is averaged over the busy window [0, makespan]; when the
 	// run hit the horizon with work outstanding, average to the horizon.
 	end := res.Makespan
@@ -191,6 +205,12 @@ func (s *Simulation) collect() *Result {
 	}
 	res.MapUtilization = s.utilMap.Average(end)
 	res.ReduceUtilization = s.utilReduce.Average(end)
-	res.Unfinished += len(s.specs) - len(s.jobs) // never-submitted jobs
+	res.Unfinished += len(s.specs) - s.specsSubmitted // never-submitted jobs
+	if s.openOn {
+		// The same busy-window end bounds the steady-state averages: after
+		// the queue drains the sim clock coasts to MaxSimTime, which would
+		// dilute any rate or time-average computed against it.
+		s.collectOpen(res, end)
+	}
 	return res
 }

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mapsched/internal/workload"
+)
+
+// openTestPlan is the CI-sized open-system grid: a short horizon over a
+// small cluster, big enough to queue and preempt, small enough to stay
+// test-sized.
+func openTestPlan() workload.ArrivalPlan {
+	return workload.ArrivalPlan{Horizon: 120, Warmup: 30, MaxActive: 6, Preempt: true}
+}
+
+func openTestSetup() Setup {
+	s := fastSetup()
+	s.Workload.Scale = 40
+	s.Engine.Topology.NodesPerRack = 12
+	return s
+}
+
+func TestOpenSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-system sweep in -short mode")
+	}
+	rhos := []float64{0.6, 1.1}
+	pts, err := OpenSweepAt(openTestSetup(), openTestPlan(), rhos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(rhos) * len(SchedulerKinds()); len(pts) != want {
+		t.Fatalf("%d sweep points, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if p.Arrived == 0 || p.Admitted == 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		if p.SteadyDone > 0 && !(p.JCTP50 <= p.JCTP95 && p.JCTP95 <= p.JCTP99) {
+			t.Fatalf("non-monotone JCT quantiles: %+v", p)
+		}
+		if p.Jain < 0 || p.Jain > 1 {
+			t.Fatalf("Jain index %v outside [0,1]", p.Jain)
+		}
+	}
+	// Same seed, same rho: the arrival stream is scheduler-independent.
+	for i := 1; i < len(SchedulerKinds()); i++ {
+		if pts[i].Arrived != pts[0].Arrived {
+			t.Fatalf("arrivals differ across schedulers: %d vs %d", pts[i].Arrived, pts[0].Arrived)
+		}
+	}
+	rep := OpenSweepReport(pts)
+	if !strings.Contains(rep.Body, "Probabilistic") || !strings.Contains(rep.Body, "1.1") {
+		t.Fatalf("open-system report malformed:\n%s", rep.Body)
+	}
+}
+
+// TestOpenSweepWorkerInvariance pins the acceptance criterion that the
+// sweep's output does not depend on the -workers fan-out: every cell is
+// a self-contained deterministic simulation, its arrival stream depends
+// only on the seed and tenant names, and results are assembled in grid
+// order.
+func TestOpenSweepWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-system sweep in -short mode")
+	}
+	defer SetMaxWorkers(runtime.GOMAXPROCS(0))
+	rhos := []float64{0.6, 1.1}
+	var base []OpenSweepPoint
+	var baseReport string
+	for _, workers := range []int{1, 2, 4, 9} {
+		SetMaxWorkers(workers)
+		pts, err := OpenSweepAt(openTestSetup(), openTestPlan(), rhos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := OpenSweepReport(pts).Body
+		if base == nil {
+			base, baseReport = pts, rep
+			continue
+		}
+		if !reflect.DeepEqual(base, pts) {
+			t.Fatalf("open sweep depends on worker count (%d workers):\nbase: %+v\ngot:  %+v",
+				workers, base, pts)
+		}
+		if rep != baseReport {
+			t.Fatalf("rendered report depends on worker count (%d workers)", workers)
+		}
+	}
+}
+
+// TestCalibrateRatesScalesWithLoad checks the calibration contract:
+// rates scale linearly in rho and split by admission weight relative to
+// per-tenant service demand.
+func TestCalibrateRatesScalesWithLoad(t *testing.T) {
+	s := openTestSetup()
+	lo := CalibrateRates(OpenTenants(), 0.5, s)
+	hi := CalibrateRates(OpenTenants(), 1.0, s)
+	for i := range lo {
+		if lo[i].Rate <= 0 {
+			t.Fatalf("tenant %s: non-positive rate %v", lo[i].Name, lo[i].Rate)
+		}
+		ratio := hi[i].Rate / lo[i].Rate
+		if ratio < 1.999 || ratio > 2.001 {
+			t.Fatalf("tenant %s: rate not linear in rho: %v vs %v", lo[i].Name, lo[i].Rate, hi[i].Rate)
+		}
+	}
+}

@@ -45,6 +45,52 @@ func FuzzCDF(f *testing.F) {
 	})
 }
 
+// FuzzHistogramQuantile checks the bucket-interpolation invariants on
+// arbitrary byte-derived samples, deliberately covering the unbounded
+// overflow bucket: values far above the last bound (DefaultTimeBounds
+// tops out at 1000, uint16 samples reach 65534) and the +Inf sentinel
+// (encoded 65535). A non-empty histogram must report quantiles inside
+// [Min, Max], never NaN, and monotone in q.
+func FuzzHistogramQuantile(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255})        // all +Inf
+	f.Add([]byte{10, 0, 255, 255, 255, 250}) // small, +Inf, huge
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewHistogram(DefaultTimeBounds...)
+		n := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			raw := binary.LittleEndian.Uint16(data[i:])
+			v := float64(raw)
+			if raw == math.MaxUint16 {
+				v = math.Inf(1)
+			}
+			h.Observe(v)
+			n++
+		}
+		if n == 0 {
+			if !math.IsNaN(h.Quantile(0.5)) {
+				t.Fatal("empty histogram Quantile != NaN")
+			}
+			return
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{-1, 0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1, 2} {
+			v := h.Quantile(q)
+			if math.IsNaN(v) {
+				t.Fatalf("Quantile(%v) = NaN on %d samples", q, n)
+			}
+			if v < h.Min() || v > h.Max() {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, h.Min(), h.Max())
+			}
+			if v < prev {
+				t.Fatalf("Quantile(%v) = %v below Quantile of smaller q (%v)", q, v, prev)
+			}
+			prev = v
+		}
+	})
+}
+
 // FuzzTimeAvg checks that time-weighted averages of non-negative step
 // functions stay within the observed value range.
 func FuzzTimeAvg(f *testing.F) {

@@ -186,6 +186,24 @@ func pct(part, total int) float64 {
 	return 100 * float64(part) / float64(total)
 }
 
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) over the
+// allocations: 1 when all shares are equal, approaching 1/n as a single
+// share dominates. Empty or all-zero inputs return 0.
+func JainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(x)) * sumSq)
+}
+
 // Reduction returns the paper's Fig. 5 metric: (base − ours) / base, the
 // fractional improvement of ours over base. Zero base yields 0.
 func Reduction(base, ours float64) float64 {

@@ -140,7 +140,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 				hi = lo
 			}
 			frac := (rank - cum) / float64(c)
-			return lo + frac*(hi-lo)
+			v := lo + frac*(hi-lo)
+			// Infinite samples land in the unbounded overflow bucket and
+			// poison the interpolation (Inf-Inf, 0*Inf); clamp so a
+			// non-empty histogram always reports a value in [Min, Max].
+			if math.IsNaN(v) || v > h.max {
+				return h.max
+			}
+			if v < h.min {
+				return h.min
+			}
+			return v
 		}
 		cum = next
 	}

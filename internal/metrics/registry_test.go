@@ -49,6 +49,40 @@ func TestHistogramStats(t *testing.T) {
 	}
 }
 
+func TestHistogramOverflowBucketQuantiles(t *testing.T) {
+	// Every sample lands in the unbounded overflow bucket: all quantiles
+	// must stay within the observed range, never the +Inf bound.
+	h := NewHistogram(1, 2, 5)
+	for _, v := range []float64{100, 200, 300} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if v := h.Quantile(q); v < 100 || v > 300 {
+			t.Fatalf("q%v=%v outside [100, 300]", q, v)
+		}
+	}
+
+	// Infinite samples poison the overflow-bucket interpolation with
+	// Inf-Inf and 0*Inf; the quantile must clamp, not report NaN.
+	inf := NewHistogram(1, 2, 5)
+	inf.Observe(math.Inf(1))
+	inf.Observe(math.Inf(1))
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		if v := inf.Quantile(q); math.IsNaN(v) {
+			t.Fatalf("q%v=NaN with infinite samples", q)
+		}
+	}
+
+	// Mixed finite and infinite samples keep low quantiles finite and
+	// within range.
+	mix := NewHistogram(1, 2, 5)
+	mix.Observe(1.5)
+	mix.Observe(math.Inf(1))
+	if v := mix.Quantile(0.25); math.IsNaN(v) || v < 1.5 {
+		t.Fatalf("q0.25=%v with mixed samples", v)
+	}
+}
+
 func TestHistogramNoBounds(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(2)

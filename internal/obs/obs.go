@@ -55,6 +55,14 @@ const (
 	AuditPass      Type = "audit_pass"      // invariant audit found zero drift
 	AuditDrift     Type = "audit_drift"     // invariant audit detected state drift (Reason lists it)
 	JournalRecover Type = "journal_recover" // a service was rebuilt from checkpoint+journal
+
+	// Open-system workload events (engine.Config.Open; DESIGN.md §18).
+	// Reason carries the tenant name on job_arrival/job_admit.
+	JobArrival      Type = "job_arrival"      // a job reached its tenant queue
+	JobAdmit        Type = "job_admit"        // admission released a queued job (Wait = queueing delay)
+	JobReject       Type = "job_reject"       // a full tenant queue turned the arrival away
+	JobPreempt      Type = "job_preempt"      // kill-and-requeue reclaimed an over-share tenant's job
+	NodeUnblacklist Type = "node_unblacklist" // the last holding job released a blacklisted node
 )
 
 // TaskRef identifies one task within its job.

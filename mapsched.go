@@ -45,6 +45,7 @@ import (
 	"mapsched/internal/hdfs"
 	"mapsched/internal/obs"
 	"mapsched/internal/sched"
+	"mapsched/internal/sim"
 	"mapsched/internal/trace"
 	"mapsched/internal/workload"
 )
@@ -93,6 +94,28 @@ type (
 // ParseFaultPlan parses the command-line fault DSL, e.g.
 // "crash:3@60;slow:7@30+120*2.5;link:4@10+40*0.1;taskfail:0.02".
 func ParseFaultPlan(spec string) (FaultPlan, error) { return faults.ParseSpec(spec) }
+
+// Open-system re-exports: an ArrivalPlan drives continuous job arrivals
+// (Poisson per tenant and/or a scripted trace) into per-tenant queues
+// with weighted admission control; see WithArrivals and WithTenants.
+type (
+	// Tenant declares one workload tenant: admission weight, Poisson
+	// arrival rate, job mix and queue capacity.
+	Tenant = workload.Tenant
+	// TraceArrival scripts one job arrival at a fixed instant.
+	TraceArrival = workload.TraceArrival
+	// ArrivalPlan bundles the arrival horizon, warm-up window,
+	// concurrency cap, preemption switch and scripted trace.
+	ArrivalPlan = workload.ArrivalPlan
+)
+
+// ParseTenants parses the command-line tenant DSL, e.g.
+// "gold:weight=3,rate=0.05;best-effort:rate=0.02,cap=8".
+func ParseTenants(spec string) ([]Tenant, error) { return workload.ParseTenants(spec) }
+
+// ParseArrivalPlan parses the command-line arrival-plan DSL, e.g.
+// "horizon=600,warmup=60,maxactive=12,preempt=1".
+func ParseArrivalPlan(spec string) (ArrivalPlan, error) { return workload.ParseArrivalPlan(spec) }
 
 // CostMode selects hop-count or network-condition distances.
 type CostMode = core.Mode
@@ -143,6 +166,10 @@ type options struct {
 	observers        []obs.Observer
 	journal          io.Writer
 	journalSet       bool
+	arrivalPlan      workload.ArrivalPlan
+	arrivalsSet      bool
+	tenants          []workload.Tenant
+	tenantsSet       bool
 }
 
 // Option customizes New, NewPlacementService and Replay.
@@ -175,6 +202,18 @@ func buildOptions(opts []Option) (options, error) {
 		return o, fmt.Errorf("mapsched: %w: negative heartbeat expiry %v", ErrInvalidOption, o.hbExpiry)
 	case o.journalSet && o.journal == nil:
 		return o, fmt.Errorf("mapsched: %w: nil journal writer", ErrInvalidOption)
+	case o.tenantsSet && !o.arrivalsSet:
+		return o, fmt.Errorf("mapsched: %w: WithTenants requires WithArrivals", ErrInvalidOption)
+	}
+	if o.arrivalsSet {
+		if err := o.arrivalPlan.Validate(); err != nil {
+			return o, fmt.Errorf("mapsched: %w: %v", ErrInvalidOption, err)
+		}
+		for _, t := range o.tenants {
+			if err := t.Validate(); err != nil {
+				return o, fmt.Errorf("mapsched: %w: %v", ErrInvalidOption, err)
+			}
+		}
 	}
 	return o, nil
 }
@@ -261,6 +300,24 @@ func WithJournal(w io.Writer) Option {
 	return func(o *options) { o.journal = w; o.journalSet = true }
 }
 
+// WithArrivals switches the run into open-system mode: instead of (or in
+// addition to) a fixed batch, jobs arrive continuously following the
+// plan's Poisson streams and scripted trace, queue per tenant, and are
+// admitted under the weighted policy declared via WithTenants. The
+// stream is deterministic in the seed: each tenant draws from its own
+// forked RNG, so adding a tenant never shifts another tenant's
+// arrivals. With an empty defs slice New runs on arrivals alone.
+func WithArrivals(plan ArrivalPlan) Option {
+	return func(o *options) { o.arrivalPlan = plan; o.arrivalsSet = true }
+}
+
+// WithTenants declares the tenants of an open-system run (requires
+// WithArrivals). Arrivals naming tenants not declared here are admitted
+// under a default weight-1, unbounded-queue policy.
+func WithTenants(tenants ...Tenant) Option {
+	return func(o *options) { o.tenants = append(o.tenants, tenants...); o.tenantsSet = true }
+}
+
 // WithObserver attaches an event sink at construction time; equivalent to
 // calling Simulation.Attach before Run. May be given several times.
 func WithObserver(o Observer) Option {
@@ -318,7 +375,7 @@ func New(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (
 	if err != nil {
 		return nil, err
 	}
-	if len(defs) == 0 {
+	if len(defs) == 0 && !o.arrivalsSet {
 		return nil, fmt.Errorf("mapsched: no jobs to run")
 	}
 	cfg.Seed = o.seed
@@ -337,6 +394,29 @@ func New(cfg ClusterConfig, defs []JobDef, kind SchedulerKind, opts ...Option) (
 	specs, err := workload.Specs(defs, o.workloadOptions())
 	if err != nil {
 		return nil, err
+	}
+	if o.arrivalsSet {
+		arr, err := workload.BuildArrivals(o.arrivalPlan, o.tenants, o.seed, o.workloadOptions())
+		if err != nil {
+			return nil, err
+		}
+		open := engine.OpenSystem{
+			MaxActive: o.arrivalPlan.MaxActive,
+			Preempt:   o.arrivalPlan.Preempt,
+			Warmup:    o.arrivalPlan.Warmup,
+		}
+		for _, t := range o.tenants {
+			open.Tenants = append(open.Tenants, engine.TenantPolicy{
+				Name:     t.Name,
+				Weight:   t.Weight,
+				QueueCap: t.QueueCap,
+			})
+		}
+		open.Arrivals = make([]engine.Arrival, len(arr))
+		for i, a := range arr {
+			open.Arrivals[i] = engine.Arrival{At: sim.Time(a.At), Tenant: a.Tenant, Spec: a.Spec}
+		}
+		cfg.Open = open
 	}
 	var builder sched.Builder
 	switch kind {

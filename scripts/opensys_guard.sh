@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Steady-state p99 JCT guard for the open-system workload: re-runs
+# BenchmarkSimulation_OpenSystem once and fails when its p99_jct_s
+# exceeds the budget recorded in BENCH_opensys.json by more than the
+# recorded tolerance. Unlike the latency guards, the figure here is
+# simulated seconds — deterministic for a fixed seed — so a trip means
+# scheduling or admission behaviour actually changed, not that the CI
+# machine was busy. The 25% tolerance only absorbs intentional workload
+# retuning (regenerate the budget with scripts/bench.sh in that case).
+#
+# Usage: sh scripts/opensys_guard.sh   (run from anywhere; cds to the root)
+
+set -e
+cd "$(dirname "$0")/.."
+
+BUDGET=$(awk -F': ' '/"p99_jct_budget_s"/ { gsub(/[^0-9]/, "", $2); print $2; exit }' BENCH_opensys.json)
+PCT=$(awk -F': ' '/"jct_max_regression_pct"/ { gsub(/[^0-9]/, "", $2); print $2; exit }' BENCH_opensys.json)
+if [ -z "$BUDGET" ] || [ -z "$PCT" ]; then
+	echo "opensys_guard: no p99_jct_budget_s/jct_max_regression_pct in BENCH_opensys.json" >&2
+	exit 1
+fi
+
+OUT=$(go test -run '^$' -bench 'BenchmarkSimulation_OpenSystem$' -benchtime 1x .)
+echo "$OUT"
+# p99_jct_s is a custom metric and may print with a fractional part;
+# strip it so the shell integer compare below works.
+CUR=$(echo "$OUT" | awk '/^BenchmarkSimulation_OpenSystem/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "p99_jct_s") { sub(/\..*$/, "", $i); print $i }
+}')
+if [ -z "$CUR" ]; then
+	echo "opensys_guard: benchmark produced no p99_jct_s figure" >&2
+	exit 1
+fi
+
+LIMIT=$((BUDGET + BUDGET * PCT / 100))
+if [ "$CUR" -gt "$LIMIT" ]; then
+	echo "opensys_guard: FAIL — steady-state p99 JCT ${CUR}s exceeds budget ${BUDGET}s by more than $PCT% (limit ${LIMIT}s)" >&2
+	echo "opensys_guard: the figure is deterministic simulated time; if the change is intentional, regenerate the budget with scripts/bench.sh" >&2
+	exit 1
+fi
+echo "opensys_guard: OK — steady-state p99 JCT ${CUR}s within budget ${BUDGET}s (+$PCT% = ${LIMIT}s)"
